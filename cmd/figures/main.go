@@ -1,0 +1,167 @@
+// Command figures regenerates the data series behind the paper's
+// Figures 1-5 (plus the §6.5 intrusiveness numbers) as plain-text
+// columns, ready for any plotting tool.
+//
+// Usage:
+//
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|trends|all] [-ranks 64] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, trends or all")
+	ranks := flag.Int("ranks", 64, "MPI ranks")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	if *fig == "1" || *fig == "all" {
+		res, err := experiments.Fig1(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 1(a). Sage-1000MB IWS size per timeslice (MB), timeslice 1 s")
+		fmt.Print(experiments.FormatSeries(res.IWS))
+		fmt.Println()
+		fmt.Println("Figure 1(b). Sage-1000MB data received per timeslice (MB)")
+		fmt.Print(experiments.FormatSeries(res.Recv))
+		fmt.Printf("\ndetected main-iteration period: %.1f s\n\n", res.DetectedPeriodS)
+	}
+	if *fig == "2" || *fig == "all" {
+		res, err := experiments.Fig2(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		for i, panel := range res {
+			fmt.Printf("Figure 2(%c). %s: IB (MB/s) vs timeslice (paper @1s: avg %.1f, max %.1f)\n",
+				'a'+i, panel.App, panel.PaperAvg1s, panel.PaperMax1s)
+			fmt.Print(experiments.FormatCurves([]experiments.Curve{panel.Avg, panel.Max}))
+			fmt.Println()
+		}
+	}
+	if *fig == "3" || *fig == "4" || *fig == "all" {
+		res, err := experiments.Fig3(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		if *fig != "4" {
+			fmt.Println("Figure 3. Average IB (MB/s) vs timeslice for the Sage footprints")
+			fmt.Print(experiments.FormatCurves(res.AvgIB))
+			fmt.Println()
+		}
+		if *fig != "3" {
+			fmt.Println("Figure 4. IWS size / memory image size (%) vs timeslice")
+			fmt.Print(experiments.FormatCurves(res.Ratio))
+			fmt.Println()
+		}
+	}
+	if *fig == "5" || *fig == "all" {
+		res, err := experiments.Fig5(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 5. Average IB (MB/s) vs timeslice for Sage-1000MB at 8-64 ranks")
+		fmt.Print(experiments.FormatCurves(res.Curves))
+		fmt.Println()
+	}
+	if *fig == "intrusiveness" || *fig == "all" {
+		rows, err := experiments.Intrusiveness(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Section 6.5. Instrumentation slowdown for Sage-1000MB")
+		fmt.Printf("%12s %12s %12s\n", "timeslice(s)", "slowdown(%)", "faults")
+		for _, r := range rows {
+			fmt.Printf("%12.1f %12.2f %12d\n", r.TimesliceS, r.Slowdown*100, r.Faults)
+		}
+		fmt.Println()
+	}
+	if *fig == "pagesize" || *fig == "all" {
+		rows, err := experiments.PageSizeAblation(workload.Sage100MB(), opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: checkpoint granularity (page size), Sage-100MB, timeslice 1 s")
+		fmt.Printf("%12s %12s %14s %12s\n", "page (KB)", "avg IB MB/s", "faults/s", "slowdown(%)")
+		for _, r := range rows {
+			fmt.Printf("%12d %12.1f %14.0f %12.2f\n", r.PageSizeKB, r.AvgIBMBs, r.FaultsPerSec, r.SlowdownPct)
+		}
+		fmt.Println()
+	}
+	if *fig == "sinks" || *fig == "all" {
+		rows, err := experiments.SinkComparison(workload.Sage1000MB(), opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Sink comparison for Sage-1000MB's 1 s requirement (§3, [19])")
+		fmt.Printf("%-36s %10s %10s %10s %10s\n", "sink", "peak MB/s", "headroom", "worst", "commit s")
+		for _, r := range rows {
+			fmt.Printf("%-36s %10.0f %9.1fx %9.1fx %10.3f\n",
+				r.Sink, r.PeakMBs, r.HeadroomAvg, r.HeadroomMax, r.CommitS)
+		}
+		fmt.Println()
+	}
+	if *fig == "compression" || *fig == "all" {
+		rows, err := experiments.CompressionAblation(0, 0, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: checkpoint-size optimisations on a real stencil ([18])")
+		fmt.Print(experiments.FormatCompression(rows))
+		fmt.Println()
+	}
+	if *fig == "bursts" || *fig == "all" {
+		rows, err := experiments.BurstProfile(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Processing-burst structure of every application (§6.2, the unplotted graphs)")
+		fmt.Print(experiments.FormatBursts(rows))
+		fmt.Println()
+	}
+	if *fig == "adaptive" || *fig == "all" {
+		rows, err := experiments.AdaptiveAlignment(opts, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Adaptive quiet-window checkpoint alignment (§6.2/§8 proposal), Sage-1000MB, 45 s cadence")
+		fmt.Print(experiments.FormatAdaptive(rows))
+		fmt.Println()
+	}
+	if *fig == "migration" || *fig == "all" {
+		rows, err := experiments.MigrationPhases(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Live migration of Sage-1000MB over QsNet, by trigger phase (§6.2, §7)")
+		fmt.Print(experiments.FormatMigration(rows))
+		fmt.Println()
+	}
+	if *fig == "trends" || *fig == "all" {
+		rows, err := experiments.Trends(opts, 8)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Section 6.6. Technological trends: projected feasibility margins")
+		fmt.Printf("%6s %14s %14s %12s %10s %10s\n",
+			"year", "required MB/s", "network MB/s", "disk MB/s", "net x", "disk x")
+		for _, r := range rows {
+			fmt.Printf("%6d %14.1f %14.0f %12.0f %10.1f %10.1f\n",
+				r.Year, r.RequiredMBs, r.NetworkMBs, r.DiskMBs, r.NetHeadroom, r.DiskHeadroom)
+		}
+		fmt.Println()
+	}
+}

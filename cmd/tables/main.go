@@ -1,0 +1,55 @@
+// Command tables regenerates the paper's Tables 2, 3 and 4.
+//
+// Usage:
+//
+//	tables [-table 2|3|4|all] [-ranks 64] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 2, 3, 4 or all")
+	ranks := flag.Int("ranks", 64, "MPI ranks (the paper's cluster had 64 CPUs)")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if *table == "2" || *table == "all" {
+		rows, err := experiments.Table2(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 2. Memory Footprint Size (MB)")
+		fmt.Print(experiments.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *table == "3" || *table == "all" {
+		rows, err := experiments.Table3(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 3. Characteristics of the Main Iteration")
+		fmt.Print(experiments.FormatTable3(rows))
+		fmt.Println()
+	}
+	if *table == "4" || *table == "all" {
+		rows, err := experiments.Table4(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 4. Bandwidth Requirements (MB/s), timeslice 1 s")
+		fmt.Print(experiments.FormatTable4(rows))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro reproduces "On the Feasibility of Incremental
+// Checkpointing for Scientific Computing" (Sancho, Petrini, Johnson,
+// Fernández, Frachtenberg — IPDPS 2004) as a self-contained Go library.
+//
+// The paper instruments unmodified Fortran/MPI applications with a
+// write-protection-based dirty-page tracker and shows that the bandwidth
+// needed to save each checkpoint timeslice's Incremental Working Set is
+// comfortably below what commodity networks and disks provide. This
+// module rebuilds that entire stack in simulation — paged virtual memory
+// with write faults, an MPI layer over a QsNet-like network model, the
+// instrumentation library, calibrated models of the paper's nine
+// applications (Sage x4, Sweep3D, NAS SP/LU/BT/FT), real numerical
+// mini-kernels, a full incremental checkpoint/restore mechanism, and a
+// failure/rollback efficiency model — and regenerates every table and
+// figure of the paper's evaluation.
+//
+// Start at internal/core for the high-level API, internal/experiments
+// for the per-table/per-figure reproductions, and DESIGN.md for the
+// system inventory. The benchmark harness in bench_test.go regenerates
+// each experiment under `go test -bench`.
+package repro

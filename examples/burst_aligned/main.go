@@ -1,0 +1,39 @@
+// Burst-aligned checkpointing: quantifies the paper's §6.2 observation
+// that "it may not be convenient to checkpoint during a processing
+// burst, because pages are likely to be re-used in a short amount of
+// time". The same application is checkpointed once per iteration under
+// two policies — in the middle of the processing burst versus in the
+// quiet communication window — and the copy-on-write traffic an
+// overlapped checkpointer would pay is compared.
+//
+//	go run ./examples/burst_aligned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.AblationAlignment(experiments.RunOpts{Ranks: 8, Seed: 7, Periods: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Sage-1000MB, %d checkpoints, interval = one iteration\n\n", res.Checkpoints)
+	fmt.Printf("%-28s %16s %16s\n", "policy", "volume (MB)", "CoW copies (MB)")
+	fmt.Printf("%-28s %16.1f %16.1f\n", "mid-processing-burst", res.MidBurstVolumeMB, res.MidBurstCowMB)
+	fmt.Printf("%-28s %16.1f %16.1f\n", "communication window", res.AlignedVolumeMB, res.AlignedCowMB)
+
+	fmt.Println()
+	if res.AlignedCowMB > 0 {
+		fmt.Printf("checkpointing between bursts cuts copy-on-write traffic %.0fx\n",
+			res.MidBurstCowMB/res.AlignedCowMB)
+	} else {
+		fmt.Printf("checkpointing between bursts eliminates all %.1f MB of copy-on-write traffic\n",
+			res.MidBurstCowMB)
+	}
+	fmt.Println("— the bulk-synchronous structure (Fig 1) is worth exploiting, as §6.2 argues.")
+}

@@ -1,0 +1,122 @@
+// Failure recovery: the end-to-end mechanism the paper argues is
+// feasible, demonstrated on a *real* computation with content-carrying
+// memory. A Jacobi stencil runs under an incremental checkpointer; the
+// process "crashes" midway; a fresh address space is restored from the
+// checkpoint chain and the computation resumes — finishing with exactly
+// the same answer as an uninterrupted run.
+//
+//	go run ./examples/failure_recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ckpt"
+	"repro/internal/des"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+const (
+	nx, ny     = 64, 64
+	boundary   = 100.0
+	totalIters = 60
+	ckptEvery  = 10
+	crashAt    = 37 // iterations completed when the "failure" hits
+)
+
+// run executes the stencil for iters steps starting from a fresh grid.
+func reference() float64 {
+	sp := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	st, err := kernels.NewStencil2D(sp, nx, ny, boundary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Run(totalIters); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := st.Cur().Checksum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sum
+}
+
+func main() {
+	// ---- Phase 1: protected run until the crash -------------------
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: 4096}) // backed: real contents
+	store := storage.NewMemStore()
+
+	st, err := kernels.NewStencil2D(sp, nx, ny, boundary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := ckpt.NewCheckpointer(eng, sp, ckpt.Options{
+		Store:     store,
+		Sink:      storage.SCSISink(),
+		FullEvery: 3, // a full checkpoint every 3 bounds the chain
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Start()
+
+	lastCkptIter := -1
+	var lastSeq uint64
+	for i := 1; i <= crashAt; i++ {
+		if err := st.Step(); err != nil {
+			log.Fatal(err)
+		}
+		if i%ckptEvery == 0 {
+			res, err := c.Checkpoint()
+			if err != nil {
+				log.Fatal(err)
+			}
+			lastCkptIter, lastSeq = i, res.Seq
+			fmt.Printf("checkpoint %d (%s): %d pages, %.1f KB, commit %.1f ms\n",
+				res.Seq, res.Kind, res.Pages, float64(res.Bytes)/1024,
+				res.Duration.Seconds()*1000)
+		}
+	}
+	fmt.Printf("\n*** failure after iteration %d (last checkpoint at iteration %d) ***\n\n",
+		crashAt, lastCkptIter)
+	// The original space and kernel state are now lost.
+
+	// ---- Phase 2: restore and resume ------------------------------
+	fresh := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	if err := ckpt.Restore(store, 0, lastSeq, fresh); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored rank 0 to checkpoint %d: %d regions, %.1f KB of state\n",
+		lastSeq, len(fresh.Regions())-1, float64(fresh.Footprint())/1024)
+
+	// Re-attach the kernel to the restored memory: the grids live at
+	// the same addresses, so a kernel constructed the same way resumes
+	// from the restored contents after rolling back to iteration
+	// lastCkptIter.
+	resumed, err := kernels.AttachStencil2D(fresh, nx, ny, lastCkptIter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := lastCkptIter + 1; i <= totalIters; i++ {
+		if err := resumed.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	got, err := resumed.Cur().Checksum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := reference()
+	fmt.Printf("\nchecksum after recovery : %.6f\n", got)
+	fmt.Printf("checksum without failure: %.6f\n", want)
+	if got == want {
+		fmt.Println("recovery is EXACT: the failure left no trace in the result")
+	} else {
+		fmt.Println("MISMATCH — recovery failed")
+	}
+}

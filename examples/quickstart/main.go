@@ -1,0 +1,47 @@
+// Quickstart: measure one application's incremental-checkpointing
+// profile and print the feasibility verdict — the paper's core question
+// ("is the required bandwidth within what the network and disk
+// provide?") in a dozen lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+func main() {
+	// Run NAS LU on 8 ranks with a 1-second checkpoint timeslice.
+	m, err := core.Measure(core.MeasureConfig{
+		App:       "LU",
+		Ranks:     8,
+		Timeslice: des.Second,
+		Periods:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %d ranks, timeslice %v\n", m.App, m.Ranks, m.Timeslice)
+	fmt.Printf("  memory footprint     : %.1f MB\n", m.AvgFootprintMB)
+	fmt.Printf("  incremental bandwidth: avg %.1f MB/s, max %.1f MB/s\n", m.AvgIBMBs, m.MaxIBMBs)
+	fmt.Printf("  instrumentation cost : %.1f%% slowdown\n", m.Slowdown*100)
+	fmt.Printf("  headroom             : %.0fx over QsNet, %.0fx over SCSI disk\n",
+		m.NetworkHeadroom, m.DiskHeadroom)
+	if m.Feasible() {
+		fmt.Println("  verdict              : incremental checkpointing is FEASIBLE")
+	} else {
+		fmt.Println("  verdict              : NOT feasible at this timeslice")
+	}
+
+	// The per-timeslice trace is available as series, e.g. the first
+	// few IWS samples:
+	fmt.Println("\n  first IWS samples (MB):")
+	for _, p := range m.IWS.Points[:min(5, m.IWS.Len())] {
+		fmt.Printf("    t=%5.1fs  %6.2f\n", p.T, p.V)
+	}
+}

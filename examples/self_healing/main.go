@@ -1,0 +1,61 @@
+// Self-healing: the autonomic-computing vision the paper motivates in
+// §1, end to end. A distributed Jacobi solve (real halo exchange over the
+// simulated QsNet) runs under coordinated incremental checkpointing while
+// node failures strike every few seconds; the supervisor restores every
+// rank from the last consistent checkpoint line, rebuilds the
+// communicator, and resumes — and the final answer is bit-identical to a
+// failure-free run.
+//
+//	go run ./examples/self_healing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/autonomic"
+	"repro/internal/des"
+)
+
+func main() {
+	cfg := autonomic.Config{
+		Ranks:       8,
+		Nx:          64,
+		RowsPerRank: 16,
+		Boundary:    100,
+		Iterations:  60,
+		CkptEvery:   5,
+		ComputeTime: 250 * des.Millisecond,
+		Seed:        11,
+	}
+
+	// Ground truth: no failures.
+	clean, err := autonomic.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same computation on a machine failing every ~4 seconds.
+	cfg.MTBF = 4 * des.Second
+	cfg.RestartOverhead = des.Second
+	rep, err := autonomic.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("distributed Jacobi, %d ranks, %d iterations, checkpoint every %d\n\n",
+		cfg.Ranks, cfg.Iterations, cfg.CkptEvery)
+	fmt.Printf("%-28s %14s %14s\n", "", "no failures", "MTBF 4s")
+	fmt.Printf("%-28s %14d %14d\n", "failures survived", clean.Failures, rep.Failures)
+	fmt.Printf("%-28s %14d %14d\n", "iterations rolled back", clean.LostIterations, rep.LostIterations)
+	fmt.Printf("%-28s %14.1f %14.1f\n", "elapsed (virtual s)", clean.Elapsed.Seconds(), rep.Elapsed.Seconds())
+	fmt.Printf("%-28s %13.1f%% %13.1f%%\n", "efficiency", clean.Efficiency*100, rep.Efficiency*100)
+	fmt.Printf("%-28s %14.1f %14.1f\n", "checkpoint volume (MB)", clean.CheckpointVolumeMB, rep.CheckpointVolumeMB)
+	fmt.Printf("%-28s %14.6f %14.6f\n", "final checksum", clean.Checksum, rep.Checksum)
+
+	if rep.Checksum == clean.Checksum {
+		fmt.Printf("\nself-healed through %d failures with a bit-identical result.\n", rep.Failures)
+	} else {
+		fmt.Println("\nRESULT DIVERGED — recovery is broken")
+	}
+}

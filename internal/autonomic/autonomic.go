@@ -1,0 +1,412 @@
+// Package autonomic closes the loop the paper opens in §1: "there is an
+// inevitable need for autonomic computing systems which are able to
+// self-heal and self-repair". It runs a genuinely distributed computation
+// (a halo-exchanging Jacobi solve across MPI ranks) under coordinated
+// incremental checkpointing, injects node failures, and recovers
+// automatically — restore every rank from the last consistent line,
+// rebuild the communicator, re-attach the solver, resume — until the
+// computation completes. Everything happens in one deterministic
+// discrete-event simulation, so the end-to-end efficiency under failures
+// is *measured*, not modelled, and the final answer is verified against
+// an uninterrupted run.
+package autonomic
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/ckpt"
+	"repro/internal/des"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// Computation is a distributed, resumable, stoppable iterative program —
+// the contract both kernels' Dist* types satisfy.
+type Computation interface {
+	// Run iterates to target; onIter (optional) runs after each
+	// completed iteration with a continuation; onDone at completion.
+	Run(target int, onIter func(iter int, next func()), onDone func())
+	// Stop abandons the computation (failure path).
+	Stop()
+	// Iter reports completed iterations.
+	Iter() int
+	// Gather returns the global solution for verification.
+	Gather() ([]float64, error)
+}
+
+// Factory builds a computation fresh or re-attaches it to restored
+// address spaces.
+type Factory interface {
+	New(eng *des.Engine, world *mpi.World) (Computation, error)
+	Attach(eng *des.Engine, world *mpi.World, iter int) (Computation, error)
+}
+
+// StencilFactory supervises a halo-exchanging Jacobi solve.
+type StencilFactory struct {
+	Nx, RowsPerRank int
+	Boundary        float64
+	ComputeTime     des.Time
+}
+
+// New implements Factory.
+func (f StencilFactory) New(eng *des.Engine, world *mpi.World) (Computation, error) {
+	return kernels.NewDistStencil(eng, world, f.Nx, f.RowsPerRank, f.Boundary, f.ComputeTime)
+}
+
+// Attach implements Factory.
+func (f StencilFactory) Attach(eng *des.Engine, world *mpi.World, iter int) (Computation, error) {
+	return kernels.AttachDistStencil(eng, world, f.Nx, f.RowsPerRank, f.Boundary, f.ComputeTime, iter)
+}
+
+// WavefrontFactory supervises a pipelined transport sweep.
+type WavefrontFactory struct {
+	Nx, RowsPerRank int
+	Seed            float64
+	ComputeTime     des.Time
+}
+
+// New implements Factory.
+func (f WavefrontFactory) New(eng *des.Engine, world *mpi.World) (Computation, error) {
+	return kernels.NewDistWavefront(eng, world, f.Nx, f.RowsPerRank, f.Seed, f.ComputeTime)
+}
+
+// Attach implements Factory.
+func (f WavefrontFactory) Attach(eng *des.Engine, world *mpi.World, iter int) (Computation, error) {
+	return kernels.AttachDistWavefront(eng, world, f.Nx, f.RowsPerRank, f.Seed, f.ComputeTime, iter)
+}
+
+// Config parameterises a supervised run.
+type Config struct {
+	// Workload picks the computation; nil selects a StencilFactory
+	// built from the grid fields below.
+	Workload Factory
+	// Ranks is the number of MPI processes (>= 1).
+	Ranks int
+	// Nx and RowsPerRank shape the decomposed grid.
+	Nx, RowsPerRank int
+	// Boundary is the Dirichlet boundary value.
+	Boundary float64
+	// Iterations is the total sweeps to complete.
+	Iterations int
+	// CkptEvery takes a coordinated checkpoint after every N completed
+	// iterations (>= 1).
+	CkptEvery int
+	// ComputeTime is the virtual cost of one sweep.
+	ComputeTime des.Time
+	// MTBF is the *system* mean time between failures; zero disables
+	// failure injection.
+	MTBF des.Time
+	// RestartOverhead is the fixed downtime per failure (detection,
+	// reboot, re-spawn) on top of the chain-read time.
+	RestartOverhead des.Time
+	// Sink models stable storage (zero → SCSI).
+	Sink storage.Model
+	// Seed drives failure times deterministically.
+	Seed uint64
+	// MaxFailures aborts pathological runs (0 → 1000).
+	MaxFailures int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nx == 0 {
+		c.Nx = 64
+	}
+	if c.RowsPerRank == 0 {
+		c.RowsPerRank = 16
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 4
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 50
+	}
+	if c.CkptEvery == 0 {
+		c.CkptEvery = 5
+	}
+	if c.ComputeTime == 0 {
+		c.ComputeTime = 100 * des.Millisecond
+	}
+	if c.RestartOverhead == 0 {
+		c.RestartOverhead = 2 * des.Second
+	}
+	if c.Sink == (storage.Model{}) {
+		c.Sink = storage.SCSISink()
+	}
+	if c.MaxFailures == 0 {
+		c.MaxFailures = 1000
+	}
+	if c.Workload == nil {
+		c.Workload = StencilFactory{
+			Nx: c.Nx, RowsPerRank: c.RowsPerRank,
+			Boundary: c.Boundary, ComputeTime: c.ComputeTime,
+		}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Ranks < 1:
+		return fmt.Errorf("autonomic: ranks %d", c.Ranks)
+	case c.Nx < 3 || c.RowsPerRank < 1:
+		return fmt.Errorf("autonomic: grid %dx%d", c.Nx, c.RowsPerRank)
+	case c.Iterations < 1 || c.CkptEvery < 1:
+		return fmt.Errorf("autonomic: iterations %d / ckpt every %d", c.Iterations, c.CkptEvery)
+	}
+	return nil
+}
+
+// Report summarises a supervised run.
+type Report struct {
+	Completed  bool
+	Iterations int
+	// Failures injected and recoveries performed (equal on success).
+	Failures, Recoveries int
+	// LostIterations is the work rolled back across all failures.
+	LostIterations int
+	// Elapsed is the end-to-end virtual time; Ideal is the failure- and
+	// checkpoint-free compute time; Efficiency = Ideal/Elapsed.
+	Elapsed, Ideal des.Time
+	Efficiency     float64
+	// CheckpointVolumeMB is the total page payload persisted.
+	CheckpointVolumeMB float64
+	// CommitTime is the cumulative stop-and-copy pause.
+	CommitTime des.Time
+	// Checksum of the final global interior, for external verification.
+	Checksum float64
+}
+
+// team is one incarnation of the computation (between failures).
+type team struct {
+	world *mpi.World
+	d     Computation
+	cps   []*ckpt.Checkpointer
+	co    *ckpt.Coordinator
+}
+
+// Supervisor drives a run to completion through failures.
+type Supervisor struct {
+	cfg   Config
+	eng   *des.Engine
+	store storage.Store
+	rng   *rand.Rand
+
+	cur          *team
+	lastLineIter int // iteration the latest consistent line corresponds to
+	nextSeq      uint64
+	report       Report
+	failed       error
+}
+
+// Run executes the configured computation under supervision and returns
+// the report. The final checksum is filled in on success.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:   cfg,
+		eng:   des.NewEngine(),
+		store: storage.NewMemStore(),
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
+	}
+	t, err := s.buildTeam(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.cur = t
+	s.startTeam()
+	s.scheduleFailure()
+	s.eng.Run(des.MaxTime)
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	s.report.Elapsed = s.eng.Now()
+	s.report.Ideal = des.Time(cfg.Iterations) * cfg.ComputeTime
+	if s.report.Elapsed > 0 {
+		s.report.Efficiency = s.report.Ideal.Seconds() / s.report.Elapsed.Seconds()
+	}
+	return &s.report, nil
+}
+
+// buildTeam constructs a new world/solver/checkpointer incarnation.
+// spaces is nil for a fresh start, or the restored address spaces after a
+// failure; startIter is the iteration count the state corresponds to.
+func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team, error) {
+	cfg := s.cfg
+	fresh := spaces == nil
+	if fresh {
+		spaces = make([]*mem.AddressSpace, cfg.Ranks)
+		for i := range spaces {
+			spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: 4096})
+		}
+	}
+	world, err := mpi.NewWorld(s.eng, mpi.QsNet(), mpi.Bounce, spaces)
+	if err != nil {
+		return nil, err
+	}
+	var d Computation
+	if fresh {
+		d, err = cfg.Workload.New(s.eng, world)
+	} else {
+		d, err = cfg.Workload.Attach(s.eng, world, startIter)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &team{world: world, d: d}
+	for i := 0; i < cfg.Ranks; i++ {
+		c, err := ckpt.NewCheckpointer(s.eng, spaces[i], ckpt.Options{
+			Rank:     i,
+			Store:    s.store,
+			Sink:     cfg.Sink,
+			StartSeq: s.nextSeq,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Exclude(world.BounceRegion(i))
+		c.Start()
+		t.cps = append(t.cps, c)
+	}
+	t.co, err = ckpt.NewCoordinator(s.eng, t.cps)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// startTeam begins (or resumes) iterating the current team.
+func (s *Supervisor) startTeam() {
+	t := s.cur
+	t.d.Run(s.cfg.Iterations, func(iter int, next func()) {
+		if iter%s.cfg.CkptEvery != 0 && iter != s.cfg.Iterations {
+			next()
+			return
+		}
+		// Quiescent point: coordinated checkpoint, then pause for the
+		// stop-and-copy commit before resuming.
+		g, err := t.co.GlobalCheckpoint()
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.nextSeq = g.PerRank[0].Seq + 1
+		s.lastLineIter = iter
+		s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
+		s.report.CommitTime += g.MaxDuration
+		s.eng.After(g.MaxDuration, next)
+	}, func() {
+		s.finish(t)
+	})
+}
+
+// finish completes the run: gather the verification checksum.
+func (s *Supervisor) finish(t *team) {
+	vals, err := t.d.Gather()
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	s.report.Completed = true
+	s.report.Iterations = t.d.Iter()
+	s.report.Checksum = sum
+	s.eng.Stop()
+}
+
+// scheduleFailure arms the next failure event.
+func (s *Supervisor) scheduleFailure() {
+	if s.cfg.MTBF <= 0 {
+		return
+	}
+	delay := des.FromSeconds(s.rng.ExpFloat64() * s.cfg.MTBF.Seconds())
+	if delay < des.Millisecond {
+		delay = des.Millisecond
+	}
+	s.eng.After(delay, s.onFailure)
+}
+
+// onFailure kills the current team and schedules recovery.
+func (s *Supervisor) onFailure() {
+	if s.report.Completed || s.failed != nil {
+		return
+	}
+	if s.report.Failures >= s.cfg.MaxFailures {
+		s.fail(fmt.Errorf("autonomic: exceeded %d failures", s.cfg.MaxFailures))
+		return
+	}
+	s.report.Failures++
+	t := s.cur
+	s.report.LostIterations += t.d.Iter() - s.lastLineIter
+	// The node is gone: abandon the incarnation. Pending events against
+	// it become no-ops; its address spaces are garbage.
+	t.d.Stop()
+	for _, c := range t.cps {
+		c.Stop()
+	}
+	s.cur = nil
+
+	// Downtime: fixed overhead plus reading the recovery chain.
+	line, ok, err := ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	downtime := s.cfg.RestartOverhead
+	if ok {
+		var chain uint64
+		for r := 0; r < s.cfg.Ranks; r++ {
+			v, err := ckpt.ChainVolume(s.store, r, line)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			chain += v
+		}
+		downtime += s.cfg.Sink.WriteTime(chain) // read ≈ write bandwidth
+	}
+	s.eng.After(downtime, func() { s.recover(line, ok) })
+}
+
+// recover rebuilds the team from the last consistent line (or from
+// scratch when no checkpoint ever committed).
+func (s *Supervisor) recover(line uint64, haveLine bool) {
+	if s.report.Completed || s.failed != nil {
+		return
+	}
+	var spaces []*mem.AddressSpace
+	startIter := 0
+	if haveLine {
+		var err error
+		spaces, err = ckpt.RestoreAll(s.store, s.cfg.Ranks, line)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		startIter = s.lastLineIter
+	} else {
+		s.lastLineIter = 0
+	}
+	t, err := s.buildTeam(spaces, startIter)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.cur = t
+	s.report.Recoveries++
+	s.startTeam()
+	s.scheduleFailure()
+}
+
+func (s *Supervisor) fail(err error) {
+	s.failed = err
+	s.eng.Stop()
+}

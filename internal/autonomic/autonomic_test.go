@@ -1,0 +1,214 @@
+package autonomic
+
+import (
+	"math"
+	"repro/internal/kernels"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// referenceChecksum runs the computation with no failures and no
+// checkpoint overhead variation — the ground truth answer.
+func referenceChecksum(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	clean := cfg
+	clean.MTBF = 0
+	rep, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("reference run did not complete")
+	}
+	return rep.Checksum
+}
+
+func baseConfig() Config {
+	return Config{
+		Ranks:       4,
+		Nx:          32,
+		RowsPerRank: 8,
+		Boundary:    9,
+		Iterations:  40,
+		CkptEvery:   5,
+		ComputeTime: 200 * des.Millisecond,
+		Seed:        3,
+	}
+}
+
+func TestRunWithoutFailures(t *testing.T) {
+	rep, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Iterations != 40 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Failures != 0 || rep.Recoveries != 0 || rep.LostIterations != 0 {
+		t.Fatalf("phantom failures: %+v", rep)
+	}
+	// Efficiency below 1 (checkpoint commits) but high.
+	if rep.Efficiency <= 0.5 || rep.Efficiency >= 1 {
+		t.Fatalf("efficiency = %v", rep.Efficiency)
+	}
+	if rep.CheckpointVolumeMB <= 0 || rep.CommitTime <= 0 {
+		t.Fatalf("checkpoint accounting: %+v", rep)
+	}
+	if rep.Checksum == 0 {
+		t.Fatal("no checksum")
+	}
+}
+
+func TestSelfHealingExactness(t *testing.T) {
+	cfg := baseConfig()
+	want := referenceChecksum(t, cfg)
+
+	// MTBF of ~3 s against an ~8+ s run: several failures guaranteed.
+	cfg.MTBF = 3 * des.Second
+	cfg.RestartOverhead = 500 * des.Millisecond
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("supervised run did not complete")
+	}
+	if rep.Failures == 0 {
+		t.Fatal("no failures injected — test proves nothing")
+	}
+	if rep.Recoveries != rep.Failures {
+		t.Fatalf("failures %d != recoveries %d", rep.Failures, rep.Recoveries)
+	}
+	// The headline: failures leave NO trace in the answer.
+	if rep.Checksum != want {
+		t.Fatalf("checksum after %d failures: %v != reference %v", rep.Failures, rep.Checksum, want)
+	}
+	// Failures cost time: efficiency below the failure-free run's.
+	clean, _ := Run(baseConfig())
+	if rep.Efficiency >= clean.Efficiency {
+		t.Fatalf("efficiency with failures (%v) not below clean (%v)", rep.Efficiency, clean.Efficiency)
+	}
+	if rep.LostIterations == 0 {
+		t.Fatal("no lost work recorded despite failures")
+	}
+	// Lost work per failure bounded by the checkpoint cadence.
+	if rep.LostIterations > rep.Failures*cfg.CkptEvery {
+		t.Fatalf("lost %d iterations over %d failures with cadence %d",
+			rep.LostIterations, rep.Failures, cfg.CkptEvery)
+	}
+}
+
+func TestFailureBeforeFirstCheckpoint(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Iterations = 12
+	cfg.CkptEvery = 50 // never checkpoints mid-run (only the final one)
+	want := referenceChecksum(t, cfg)
+	// Force an early failure: tiny MTBF for the first hit, but the
+	// run is short so usually one failure before any checkpoint.
+	cfg.MTBF = 1500 * des.Millisecond
+	cfg.RestartOverhead = 100 * des.Millisecond
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("run did not complete")
+	}
+	if rep.Checksum != want {
+		t.Fatalf("restart-from-scratch checksum %v != %v", rep.Checksum, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MTBF = 2 * des.Second
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failures != b.Failures || a.Elapsed != b.Elapsed || a.Checksum != b.Checksum {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.Ranks = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative ranks accepted")
+	}
+	bad = baseConfig()
+	bad.Nx = 2
+	if _, err := Run(bad); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestEfficiencyDegradesWithFailureRate(t *testing.T) {
+	effAt := func(mtbf des.Time) float64 {
+		cfg := baseConfig()
+		cfg.MTBF = mtbf
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Completed {
+			t.Fatal("incomplete")
+		}
+		return rep.Efficiency
+	}
+	healthy := effAt(60 * des.Second)
+	sick := effAt(2 * des.Second)
+	if sick >= healthy {
+		t.Fatalf("efficiency at 2s MTBF (%v) not below 60s MTBF (%v)", sick, healthy)
+	}
+	if math.IsNaN(healthy) || math.IsNaN(sick) {
+		t.Fatal("NaN efficiency")
+	}
+}
+
+// The supervisor is workload-agnostic: the pipelined wavefront heals
+// exactly like the stencil.
+func TestSelfHealingWavefront(t *testing.T) {
+	cfg := Config{
+		Workload:    WavefrontFactory{Nx: 24, RowsPerRank: 6, Seed: 5, ComputeTime: 50 * des.Millisecond},
+		Ranks:       4,
+		Iterations:  30,
+		CkptEvery:   4,
+		ComputeTime: 50 * des.Millisecond,
+		Seed:        21,
+	}
+	want := referenceChecksum(t, cfg)
+	// Pipelined iterations at 4 ranks cost ~2*4*50ms = 400ms; 30
+	// iterations ≈ 12s. MTBF 4s → a few failures.
+	cfg.MTBF = 4 * des.Second
+	cfg.RestartOverhead = 300 * des.Millisecond
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Failures == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Checksum != want {
+		t.Fatalf("wavefront healed checksum %v != %v", rep.Checksum, want)
+	}
+	// Cross-check against the sequential reference implementation.
+	ref := kernelsReferenceSum(24, 6, 4, 30, 5)
+	if rep.Checksum != ref {
+		t.Fatalf("checksum %v != sequential reference %v", rep.Checksum, ref)
+	}
+}
+
+func kernelsReferenceSum(nx, rows, ranks, iters int, seed float64) float64 {
+	var sum float64
+	for _, v := range kernels.WavefrontReference(nx, rows, ranks, iters, seed) {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,91 @@
+// Package bitset provides a growable bitmap used for page-granular dirty
+// tracking by the tracker and the checkpointer.
+package bitset
+
+import "math/bits"
+
+// Set is a growable set of uint64 indexes. The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// Add inserts i, growing the set as needed.
+func (s *Set) Add(i uint64) {
+	w := i / 64
+	for uint64(len(s.words)) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (i % 64)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i uint64) bool {
+	w := i / 64
+	return w < uint64(len(s.words)) && s.words[w]&(1<<(i%64)) != 0
+}
+
+// Remove deletes i. Removing an absent element is a no-op.
+func (s *Set) Remove(i uint64) {
+	w := i / 64
+	if w < uint64(len(s.words)) {
+		s.words[w] &^= 1 << (i % 64)
+	}
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() uint64 {
+	var n uint64
+	for _, w := range s.words {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// CountBelow returns the number of elements strictly less than limit.
+func (s *Set) CountBelow(limit uint64) uint64 {
+	var n uint64
+	full := limit / 64
+	for i := uint64(0); i < full && i < uint64(len(s.words)); i++ {
+		n += uint64(bits.OnesCount64(s.words[i]))
+	}
+	if rem := limit % 64; rem != 0 && full < uint64(len(s.words)) {
+		n += uint64(bits.OnesCount64(s.words[full] & ((1 << rem) - 1)))
+	}
+	return n
+}
+
+// Clear empties the set, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// ForEach calls fn for each element in ascending order until fn returns
+// false.
+func (s *Set) ForEach(fn func(uint64) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			if !fn(uint64(wi)*64 + b) {
+				return
+			}
+			w &^= 1 << b
+		}
+	}
+}
+
+// ForEachBelow is ForEach restricted to elements strictly below limit.
+func (s *Set) ForEachBelow(limit uint64, fn func(uint64) bool) {
+	s.ForEach(func(i uint64) bool {
+		if i >= limit {
+			return false
+		}
+		return fn(i)
+	})
+}

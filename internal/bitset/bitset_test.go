@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Has(0) || s.Has(1000) {
+		t.Fatal("zero value not empty")
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(64) // duplicate
+	s.Add(129)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(3) || !s.Has(64) || !s.Has(129) || s.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	s.Remove(64)
+	s.Remove(9999) // absent, no-op
+	if s.Len() != 2 || s.Has(64) {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	var s Set
+	for _, i := range []uint64{0, 5, 63, 64, 65, 200} {
+		s.Add(i)
+	}
+	cases := map[uint64]uint64{0: 0, 1: 1, 6: 2, 64: 3, 65: 4, 66: 5, 201: 6, 1000: 6}
+	for limit, want := range cases {
+		if got := s.CountBelow(limit); got != want {
+			t.Errorf("CountBelow(%d) = %d, want %d", limit, got, want)
+		}
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	var s Set
+	in := []uint64{200, 3, 64, 5}
+	for _, i := range in {
+		s.Add(i)
+	}
+	var got []uint64
+	s.ForEach(func(i uint64) bool { got = append(got, i); return true })
+	want := []uint64{3, 5, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	var s Set
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i)
+	}
+	n := 0
+	s.ForEach(func(uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestForEachBelow(t *testing.T) {
+	var s Set
+	for _, i := range []uint64{1, 70, 130} {
+		s.Add(i)
+	}
+	var got []uint64
+	s.ForEachBelow(130, func(i uint64) bool { got = append(got, i); return true })
+	if len(got) != 2 || got[0] != 1 || got[1] != 70 {
+		t.Fatalf("ForEachBelow = %v", got)
+	}
+}
+
+func TestClearClone(t *testing.T) {
+	var s Set
+	s.Add(7)
+	c := s.Clone()
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+	if c.Len() != 1 || !c.Has(7) {
+		t.Fatal("Clone not independent")
+	}
+	c.Add(9)
+	if s.Has(9) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: Set agrees with a reference map under random operations.
+func TestPropertyModelEquivalence(t *testing.T) {
+	f := func(seed uint64, nOps uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		var s Set
+		ref := map[uint64]bool{}
+		for i := 0; i < int(nOps%500); i++ {
+			x := uint64(rng.IntN(1024))
+			switch rng.IntN(3) {
+			case 0:
+				s.Add(x)
+				ref[x] = true
+			case 1:
+				s.Remove(x)
+				delete(ref, x)
+			case 2:
+				if s.Has(x) != ref[x] {
+					return false
+				}
+			}
+		}
+		if s.Len() != uint64(len(ref)) {
+			return false
+		}
+		n := 0
+		ok := true
+		s.ForEach(func(i uint64) bool {
+			if !ref[i] {
+				ok = false
+			}
+			n++
+			return true
+		})
+		return ok && n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddDense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for j := uint64(0); j < 4096; j++ {
+			s.Add(j)
+		}
+	}
+}

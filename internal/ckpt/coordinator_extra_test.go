@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+func TestStaggeredCoordinator(t *testing.T) {
+	eng := des.NewEngine()
+	store := storage.NewMemStore()
+	sink := storage.Model{Name: "s", Bandwidth: float64(pageSize)} // 1 page/s
+	var cps []*Checkpointer
+	for i := 0; i < 3; i++ {
+		sp := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+		sp.Mmap(2 * pageSize)
+		c, _ := NewCheckpointer(eng, sp, Options{Rank: i, Store: store, Sink: sink})
+		c.Start()
+		cps = append(cps, c)
+	}
+	parallel, _ := NewCoordinator(eng, cps)
+	g1, err := parallel.GlobalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel sinks: commit latency = slowest rank = 2 pages = 2s.
+	if g1.MaxDuration != 2*des.Second {
+		t.Fatalf("parallel commit = %v, want 2s", g1.MaxDuration)
+	}
+
+	// Same layout through a shared (staggered) sink.
+	eng2 := des.NewEngine()
+	var cps2 []*Checkpointer
+	for i := 0; i < 3; i++ {
+		sp := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+		sp.Mmap(2 * pageSize)
+		c, _ := NewCheckpointer(eng2, sp, Options{Rank: i, Store: storage.NewMemStore(), Sink: sink})
+		c.Start()
+		cps2 = append(cps2, c)
+	}
+	shared, _ := NewCoordinator(eng2, cps2)
+	shared.Staggered = true
+	g2, err := shared.GlobalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared sink: 3 ranks x 2 pages serialise = 6s.
+	if g2.MaxDuration != 6*des.Second {
+		t.Fatalf("staggered commit = %v, want 6s", g2.MaxDuration)
+	}
+}
+
+func TestChainVolume(t *testing.T) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+	store := storage.NewMemStore()
+	c, _ := NewCheckpointer(eng, sp, Options{Store: store, FullEvery: 3})
+	r, _ := sp.Mmap(4 * pageSize)
+	sp.Write(r.Start(), bytes.Repeat([]byte{1}, 4*pageSize))
+	c.Start()
+	r0, _ := c.Checkpoint() // seq 0: full
+	sp.Write(r.Start(), bytes.Repeat([]byte{2}, pageSize))
+	r1, _ := c.Checkpoint() // seq 1: delta
+	sp.Write(r.Start()+pageSize, bytes.Repeat([]byte{3}, pageSize))
+	r2, _ := c.Checkpoint() // seq 2: delta
+
+	vol, err := ChainVolume(store, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol != r0.Bytes+r1.Bytes+r2.Bytes {
+		t.Fatalf("chain volume = %d, want %d", vol, r0.Bytes+r1.Bytes+r2.Bytes)
+	}
+	// Restoring to seq 1 reads only the first two segments.
+	vol1, _ := ChainVolume(store, 0, 1)
+	if vol1 != r0.Bytes+r1.Bytes {
+		t.Fatalf("chain volume to 1 = %d", vol1)
+	}
+	// A new epoch resets the chain base.
+	sp.Write(r.Start(), bytes.Repeat([]byte{4}, pageSize))
+	r3, _ := c.Checkpoint() // seq 3: full (FullEvery=3)
+	if r3.Kind != Full {
+		t.Fatalf("seq 3 kind = %v", r3.Kind)
+	}
+	vol3, _ := ChainVolume(store, 0, 3)
+	if vol3 != r3.Bytes {
+		t.Fatalf("fresh epoch volume = %d, want %d", vol3, r3.Bytes)
+	}
+	if _, err := ChainVolume(store, 0, 99); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}

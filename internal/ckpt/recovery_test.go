@@ -1,0 +1,192 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+func TestParseSegmentKey(t *testing.T) {
+	var rank int
+	var seq uint64
+	if !ParseSegmentKey("rank003/seg000042", &rank, &seq) || rank != 3 || seq != 42 {
+		t.Fatalf("parse: %d %d", rank, seq)
+	}
+	for _, bad := range []string{"", "rank003", "seg000001/rank003", "rankX/seg000001", "rank003/segY", "a/b/c"} {
+		if ParseSegmentKey(bad, &rank, &seq) {
+			t.Errorf("bad key %q accepted", bad)
+		}
+	}
+}
+
+func TestLatestConsistentSeq(t *testing.T) {
+	store := storage.NewMemStore()
+	// No segments at all.
+	if _, ok, err := LatestConsistentSeq(store, 2); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	put := func(rank int, seq uint64) {
+		seg := &Segment{Rank: rank, Seq: seq, Kind: Full, PageSize: 512}
+		key := keyFor(rank, seq)
+		store.Put(key, seg.Encode())
+	}
+	put(0, 0)
+	put(0, 1)
+	put(1, 0)
+	// Rank 1's checkpoint 1 never committed (failure mid-global-ckpt):
+	// the consistent line is 0.
+	seq, ok, err := LatestConsistentSeq(store, 2)
+	if err != nil || !ok || seq != 0 {
+		t.Fatalf("seq=%d ok=%v err=%v, want 0 true", seq, ok, err)
+	}
+	put(1, 1)
+	seq, _, _ = LatestConsistentSeq(store, 2)
+	if seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	// A rank with no segments blocks consistency.
+	if _, ok, _ := LatestConsistentSeq(store, 3); ok {
+		t.Fatal("missing rank reported consistent")
+	}
+	// Foreign keys are ignored.
+	store.Put("junk/key", []byte("x"))
+	if seq, ok, _ := LatestConsistentSeq(store, 2); !ok || seq != 1 {
+		t.Fatal("foreign keys disturbed the scan")
+	}
+}
+
+func keyFor(rank int, seq uint64) string {
+	return "rank" + pad(rank, 3) + "/seg" + pad(int(seq), 6)
+}
+
+func pad(v, width int) string {
+	s := ""
+	for d := width - 1; d >= 0; d-- {
+		p := 1
+		for i := 0; i < d; i++ {
+			p *= 10
+		}
+		s += string(rune('0' + (v/p)%10))
+	}
+	return s
+}
+
+// Multi-rank coordinated checkpoint + failure + RestoreAll: every rank's
+// memory must come back exactly as at the last consistent line.
+func TestCoordinatedRecoveryEndToEnd(t *testing.T) {
+	const ranks = 4
+	eng := des.NewEngine()
+	store := storage.NewMemStore()
+	var spaces []*mem.AddressSpace
+	var cps []*Checkpointer
+	var regions []*mem.Region
+	for i := 0; i < ranks; i++ {
+		sp := mem.NewAddressSpace(mem.Config{PageSize: 512})
+		r, _ := sp.Mmap(8 * 512)
+		sp.Write(r.Start(), bytes.Repeat([]byte{byte(i + 1)}, 8*512))
+		c, _ := NewCheckpointer(eng, sp, Options{Rank: i, Store: store})
+		c.Start()
+		spaces = append(spaces, sp)
+		cps = append(cps, c)
+		regions = append(regions, r)
+	}
+	co, _ := NewCoordinator(eng, cps)
+	if _, err := co.GlobalCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Each rank makes progress, then a second global checkpoint.
+	for i, sp := range spaces {
+		sp.Write(regions[i].Start()+512, bytes.Repeat([]byte{0xF0 | byte(i)}, 512))
+	}
+	if _, err := co.GlobalCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot expected state at the line.
+	want := make([][]byte, ranks)
+	for i, sp := range spaces {
+		want[i] = make([]byte, 8*512)
+		sp.Read(regions[i].Start(), want[i])
+	}
+	// More progress that will be lost to the failure.
+	for i, sp := range spaces {
+		sp.Write(regions[i].Start()+3*512, bytes.Repeat([]byte{0xEE}, 512))
+	}
+
+	// Failure: all address spaces lost. Find the line and restore all.
+	seq, ok, err := LatestConsistentSeq(store, ranks)
+	if err != nil || !ok || seq != 1 {
+		t.Fatalf("line: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+	restored, err := RestoreAll(store, ranks, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range restored {
+		got := make([]byte, 8*512)
+		if err := sp.Read(regions[i].Start(), got); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("rank %d state mismatch after recovery", i)
+		}
+	}
+}
+
+func TestRestoreAllValidation(t *testing.T) {
+	store := storage.NewMemStore()
+	if _, err := RestoreAll(store, 0, 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := RestoreAll(store, 2, 5); err == nil {
+		t.Fatal("missing segments accepted")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: 512})
+	store := storage.NewMemStore()
+	c, _ := NewCheckpointer(eng, sp, Options{Store: store, FullEvery: 3})
+	r, _ := sp.Mmap(4 * 512)
+	c.Start()
+	// Two full epochs: seqs 0(F),1,2, 3(F),4.
+	for i := 0; i < 5; i++ {
+		sp.WriteRange(r.Start(), 512)
+		if _, err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := store.Keys()
+	if len(before) != 5 {
+		t.Fatalf("segments before prune: %d", len(before))
+	}
+	deleted, reclaimed, err := Prune(store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch base of the newest segment (seq 4) is seq 3: seqs 0-2 go.
+	if deleted != 3 || reclaimed == 0 {
+		t.Fatalf("deleted %d (%d bytes)", deleted, reclaimed)
+	}
+	after, _ := store.Keys()
+	if len(after) != 2 {
+		t.Fatalf("segments after prune: %v", after)
+	}
+	// The surviving chain still restores.
+	fresh := mem.NewAddressSpace(mem.Config{PageSize: 512})
+	if err := Restore(store, 0, 4, fresh); err != nil {
+		t.Fatalf("restore after prune: %v", err)
+	}
+	// Pruning again is a no-op.
+	d2, _, _ := Prune(store, 1)
+	if d2 != 0 {
+		t.Fatalf("second prune deleted %d", d2)
+	}
+	// Empty store: no-op, no error.
+	if d3, _, err := Prune(storage.NewMemStore(), 2); err != nil || d3 != 0 {
+		t.Fatalf("empty prune: %d %v", d3, err)
+	}
+}

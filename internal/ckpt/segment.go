@@ -1,0 +1,312 @@
+// Package ckpt implements the mechanism the paper argues is feasible:
+// automatic, user-transparent incremental checkpointing. It builds on the
+// same write-protection machinery as the tracker — each checkpoint saves
+// the pages dirtied since the previous one (the delta), with periodic full
+// checkpoints bounding the recovery chain — plus coordinated global
+// checkpoints across MPI ranks, restore/rollback, the memory-exclusion
+// optimisation for unmapped pages, and a copy-on-write accounting model
+// that quantifies the cost of checkpointing in the middle of a processing
+// burst (the paper's §6.2 observation).
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+)
+
+// Kind distinguishes full from incremental segments.
+type Kind uint8
+
+const (
+	// Full segments contain every mapped checkpointable page.
+	Full Kind = iota
+	// Incremental segments contain only pages dirtied since the
+	// previous segment.
+	Incremental
+)
+
+// String returns "full" or "incremental".
+func (k Kind) String() string {
+	if k == Full {
+		return "full"
+	}
+	return "incremental"
+}
+
+// RegionInfo records one mapped region at capture time, enough to recreate
+// the address-space layout on restore.
+type RegionInfo struct {
+	Start uint64
+	Size  uint64
+	Kind  mem.Kind
+}
+
+// PageRecord is one saved page. Data is nil in content-free segments
+// (phantom address spaces, used for volume accounting at full scale) and
+// for all-zero pages that were never materialised.
+type PageRecord struct {
+	Addr uint64
+	Data []byte
+}
+
+// Segment is one checkpoint of one rank.
+type Segment struct {
+	Rank        int
+	Seq         uint64 // monotonically increasing per rank
+	Epoch       uint64 // Seq of the base full segment of this chain
+	Kind        Kind
+	ContentFree bool
+	PageSize    uint64
+	TakenAt     des.Time
+	Regions     []RegionInfo
+	Pages       []PageRecord
+}
+
+// PageBytes returns the page payload volume (pages x page size), the
+// quantity the paper's Incremental Bandwidth measures.
+func (s *Segment) PageBytes() uint64 {
+	return uint64(len(s.Pages)) * s.PageSize
+}
+
+const (
+	segmentMagic   = "ICKP"
+	segmentVersion = 1
+	// page record header values
+	pageZero    = 0 // never-written page, elided
+	pageHasData = 1 // raw page bytes follow
+	pageRLE     = 2 // u32 stream length + RLE stream follow
+)
+
+// Encode serialises the segment to a portable little-endian byte stream
+// with raw (uncompressed) page payloads.
+func (s *Segment) Encode() []byte {
+	enc, _ := s.encode(false)
+	return enc
+}
+
+// EncodeCompressed serialises the segment with per-page RLE compression
+// (pages that do not shrink stay raw). It additionally returns the page
+// payload volume actually persisted — the quantity a bandwidth-limited
+// sink has to absorb.
+func (s *Segment) EncodeCompressed() ([]byte, uint64) {
+	return s.encode(true)
+}
+
+func (s *Segment) encode(compress bool) ([]byte, uint64) {
+	var payload uint64
+	var buf bytes.Buffer
+	buf.WriteString(segmentMagic)
+	le := binary.LittleEndian
+	var scratch [8]byte
+	w32 := func(v uint32) { le.PutUint32(scratch[:4], v); buf.Write(scratch[:4]) }
+	w64 := func(v uint64) { le.PutUint64(scratch[:8], v); buf.Write(scratch[:8]) }
+	w32(segmentVersion)
+	w32(uint32(s.Rank))
+	w64(s.Seq)
+	w64(s.Epoch)
+	buf.WriteByte(byte(s.Kind))
+	if s.ContentFree {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	w64(s.PageSize)
+	w64(uint64(s.TakenAt))
+	w32(uint32(len(s.Regions)))
+	for _, r := range s.Regions {
+		w64(r.Start)
+		w64(r.Size)
+		buf.WriteByte(byte(r.Kind))
+	}
+	w64(uint64(len(s.Pages)))
+	for _, p := range s.Pages {
+		w64(p.Addr)
+		if s.ContentFree {
+			continue
+		}
+		switch {
+		case p.Data == nil:
+			buf.WriteByte(pageZero) // zero page, elided
+		case compress:
+			if c := rleCompress(p.Data); c != nil {
+				buf.WriteByte(pageRLE)
+				w32(uint32(len(c)))
+				buf.Write(c)
+				payload += uint64(len(c))
+				continue
+			}
+			buf.WriteByte(pageHasData)
+			buf.Write(p.Data)
+			payload += uint64(len(p.Data))
+		default:
+			buf.WriteByte(pageHasData)
+			buf.Write(p.Data)
+			payload += uint64(len(p.Data))
+		}
+	}
+	return buf.Bytes(), payload
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if d.off+n > len(d.b) {
+		return nil, fmt.Errorf("ckpt: truncated segment at offset %d (need %d of %d)", d.off, n, len(d.b))
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// DecodeSegment parses a segment encoded by Encode, validating structure
+// and bounds.
+func DecodeSegment(data []byte) (*Segment, error) {
+	d := &decoder{b: data}
+	magic, err := d.need(4)
+	if err != nil || string(magic) != segmentMagic {
+		return nil, fmt.Errorf("ckpt: bad magic")
+	}
+	ver, err := d.u32()
+	if err != nil || ver != segmentVersion {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", ver)
+	}
+	s := &Segment{}
+	rank, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	s.Rank = int(rank)
+	if s.Seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if s.Epoch, err = d.u64(); err != nil {
+		return nil, err
+	}
+	k, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if k > uint8(Incremental) {
+		return nil, fmt.Errorf("ckpt: bad segment kind %d", k)
+	}
+	s.Kind = Kind(k)
+	cf, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	s.ContentFree = cf != 0
+	if s.PageSize, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if s.PageSize == 0 || s.PageSize > 1<<30 {
+		return nil, fmt.Errorf("ckpt: implausible page size %d", s.PageSize)
+	}
+	at, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	s.TakenAt = des.Time(at)
+	nr, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nr)*17 > uint64(len(data)) {
+		return nil, fmt.Errorf("ckpt: region count %d exceeds segment size", nr)
+	}
+	s.Regions = make([]RegionInfo, nr)
+	for i := range s.Regions {
+		if s.Regions[i].Start, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if s.Regions[i].Size, err = d.u64(); err != nil {
+			return nil, err
+		}
+		rk, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		s.Regions[i].Kind = mem.Kind(rk)
+	}
+	np, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if np*9 > uint64(len(data))+np*s.PageSize {
+		return nil, fmt.Errorf("ckpt: page count %d exceeds segment size", np)
+	}
+	s.Pages = make([]PageRecord, 0, np)
+	for i := uint64(0); i < np; i++ {
+		var p PageRecord
+		if p.Addr, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if !s.ContentFree {
+			flag, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			switch flag {
+			case pageZero:
+				// elided zero page
+			case pageHasData:
+				raw, err := d.need(int(s.PageSize))
+				if err != nil {
+					return nil, err
+				}
+				p.Data = append([]byte(nil), raw...)
+			case pageRLE:
+				n, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				stream, err := d.need(int(n))
+				if err != nil {
+					return nil, err
+				}
+				p.Data, err = rleDecompress(stream, int(s.PageSize))
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("ckpt: bad page flag %d", flag)
+			}
+		}
+		s.Pages = append(s.Pages, p)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(data)-d.off)
+	}
+	return s, nil
+}

@@ -1,0 +1,281 @@
+// Package core is the library's high-level entry point, tying the
+// substrates together into the two operations a user wants:
+//
+//   - Measure: run one of the paper's applications under the
+//     instrumentation library and obtain its Incremental Working Set /
+//     Incremental Bandwidth profile plus the feasibility verdict of §6.3
+//     (how much headroom the network and disk sinks have over the
+//     measured requirement).
+//
+//   - Protect: run an application under coordinated incremental
+//     checkpointing across all ranks and obtain the checkpoint volumes,
+//     commit latencies and copy-on-write traffic.
+//
+// Lower-level control (custom workloads, real kernels, restore, failure
+// simulation) is available from the subsystem packages: workload,
+// tracker, ckpt, kernels, cluster, experiments.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/ckpt"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+// MB is the paper's megabyte (10^6 bytes).
+const MB = 1e6
+
+// Apps returns the names of the built-in application models, in the
+// paper's Table 2 order.
+func Apps() []string {
+	specs := workload.All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// MeasureConfig configures a Measure run.
+type MeasureConfig struct {
+	// App names one of Apps(). Required.
+	App string
+	// Ranks is the MPI process count (0 → the paper's 64).
+	Ranks int
+	// Timeslice is the checkpoint timeslice (0 → 1 s).
+	Timeslice des.Time
+	// Periods is the minimum number of whole iterations measured
+	// (0 → 3).
+	Periods int
+	// Seed makes runs reproducible (0 → a fixed default).
+	Seed uint64
+	// IncludeInit keeps the data-initialization burst in the series
+	// (summaries are computed either way on the post-init window).
+	IncludeInit bool
+}
+
+// MeasureResult is the instrumentation profile of one run.
+type MeasureResult struct {
+	App       string
+	Ranks     int
+	Timeslice des.Time
+
+	// AvgIBMBs and MaxIBMBs summarise the Incremental Bandwidth in MB/s
+	// with the initialization burst excluded — Table 4's quantities.
+	AvgIBMBs, MaxIBMBs float64
+	// AvgFootprintMB and MaxFootprintMB are Table 2's quantities.
+	AvgFootprintMB, MaxFootprintMB float64
+	// Slowdown is the modelled instrumentation overhead (§6.5).
+	Slowdown float64
+	// NetworkHeadroom and DiskHeadroom are available/required bandwidth
+	// ratios against the paper's QsNet and SCSI sinks; above 1 means
+	// checkpointing keeps up (§6.3).
+	NetworkHeadroom, DiskHeadroom float64
+
+	// Raw per-timeslice series (MB, MB/s, MB, MB).
+	IWS, IB, Recv, Footprint *metrics.Series
+}
+
+// Feasible reports whether the measured average requirement fits within
+// both the network and the disk sink.
+func (m *MeasureResult) Feasible() bool {
+	return m.NetworkHeadroom > 1 && m.DiskHeadroom > 1
+}
+
+// Measure runs the named application under the tracker and returns its
+// incremental-checkpointing profile.
+func Measure(cfg MeasureConfig) (*MeasureResult, error) {
+	spec, err := workload.ByName(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	run, err := experiments.RunOne(spec, experiments.RunOpts{
+		Ranks:       cfg.Ranks,
+		Timeslice:   cfg.Timeslice,
+		Periods:     cfg.Periods,
+		Seed:        cfg.Seed,
+		IncludeInit: cfg.IncludeInit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ibWindow := run.IB
+	if cfg.IncludeInit {
+		ibWindow = run.IB.After(run.IterZero.Seconds() + run.Opts.Timeslice.Seconds())
+	}
+	ib := metrics.Summarize(ibWindow)
+	fp := run.FootprintSummary()
+	return &MeasureResult{
+		App:             spec.Name,
+		Ranks:           run.Opts.Ranks,
+		Timeslice:       run.Opts.Timeslice,
+		AvgIBMBs:        ib.Mean,
+		MaxIBMBs:        ib.Max,
+		AvgFootprintMB:  fp.Mean,
+		MaxFootprintMB:  fp.Max,
+		Slowdown:        run.Slowdown,
+		NetworkHeadroom: storage.QsNetSink().Headroom(ib.Mean * MB),
+		DiskHeadroom:    storage.SCSISink().Headroom(ib.Mean * MB),
+		IWS:             run.IWS,
+		IB:              run.IB,
+		Recv:            run.Recv,
+		Footprint:       run.Footprint,
+	}, nil
+}
+
+// ProtectConfig configures a Protect run.
+type ProtectConfig struct {
+	// App names one of Apps(). Required.
+	App string
+	// Ranks is the MPI process count (0 → 8; coordinated
+	// checkpointing tracks every rank, so this is the cost knob).
+	Ranks int
+	// Interval is the coordinated checkpoint interval (0 → 10 s).
+	Interval des.Time
+	// FullEvery forces a full checkpoint every N checkpoints
+	// (0 → only the first).
+	FullEvery int
+	// Periods is the number of whole iterations to protect (0 → 2).
+	Periods int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Sink models the stable-storage write cost (zero → SCSI).
+	Sink storage.Model
+	// Store receives the encoded segments (nil → a fresh in-memory
+	// store). Pass a storage.FileStore to persist checkpoints on disk
+	// for inspection with cmd/ckptinspect.
+	Store storage.Store
+	// TrackCow enables copy-on-write accounting during drains.
+	TrackCow bool
+	// Adaptive aligns checkpoint triggers to quiet communication
+	// windows detected from the live IWS signal (§6.2/§8), instead of
+	// the fixed Interval cadence. The mean cadence stays at Interval.
+	Adaptive bool
+}
+
+// ProtectResult summarises a protected run.
+type ProtectResult struct {
+	App         string
+	Ranks       int
+	Interval    des.Time
+	Checkpoints int
+	// TotalMB is the page payload persisted across all ranks and
+	// checkpoints; MeanPerCkptMB is the per-global-checkpoint mean.
+	TotalMB       float64
+	MeanPerCkptMB float64
+	// MaxCommitS is the worst global commit latency (slowest rank).
+	MaxCommitS float64
+	// CowMB is the copy-on-write traffic (TrackCow only).
+	CowMB float64
+	// ExcludedMB is the data saved by memory exclusion.
+	ExcludedMB float64
+	// Globals holds the raw coordinated-checkpoint results.
+	Globals []ckpt.GlobalResult
+}
+
+// Protect runs the named application with coordinated incremental
+// checkpointing on every rank.
+func Protect(cfg ProtectConfig) (*ProtectResult, error) {
+	spec, err := workload.ByName(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 8
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 10 * des.Second
+	}
+	if cfg.Periods == 0 {
+		cfg.Periods = 2
+	}
+	r, err := workload.New(spec, workload.Config{Ranks: cfg.Ranks, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for r.IterZero() == 0 {
+		if !r.Eng.Step() {
+			return nil, fmt.Errorf("core: %s never started iterating", spec.Name)
+		}
+	}
+	store := cfg.Store
+	if store == nil {
+		store = storage.NewMemStore()
+	}
+	var cps []*ckpt.Checkpointer
+	for i := 0; i < cfg.Ranks; i++ {
+		c, err := ckpt.NewCheckpointer(r.Eng, r.Space(i), ckpt.Options{
+			Rank:      i,
+			Store:     store,
+			Sink:      cfg.Sink,
+			FullEvery: cfg.FullEvery,
+			TrackCow:  cfg.TrackCow,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Exclude(r.World.BounceRegion(i))
+		c.Start()
+		cps = append(cps, c)
+	}
+	co, err := ckpt.NewCoordinator(r.Eng, cps)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Adaptive {
+		// Quiet-window alignment: a 1 s tracker on rank 0 feeds the
+		// aligner, which triggers global checkpoints.
+		al, err := adaptive.New(r.Eng, adaptive.Options{Interval: cfg.Interval}, func() {
+			if _, err := co.GlobalCheckpoint(); err != nil {
+				panic(fmt.Sprintf("core: adaptive checkpoint: %v", err))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := tracker.New(r.Eng, r.Space(0), tracker.Options{
+			Timeslice: des.Second,
+			OnSample:  al.Feed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr.Start()
+		al.Start()
+		defer tr.Stop()
+	} else {
+		co.StartInterval(cfg.Interval)
+	}
+	r.Run(r.Eng.Now() + des.Time(cfg.Periods)*spec.PeriodAt(cfg.Ranks))
+	co.Stop()
+
+	res := &ProtectResult{
+		App:         spec.Name,
+		Ranks:       cfg.Ranks,
+		Interval:    cfg.Interval,
+		Checkpoints: len(co.Results()),
+		Globals:     co.Results(),
+	}
+	for _, g := range co.Results() {
+		res.TotalMB += float64(g.TotalPageBytes) / MB
+		if s := g.MaxDuration.Seconds(); s > res.MaxCommitS {
+			res.MaxCommitS = s
+		}
+	}
+	if res.Checkpoints > 0 {
+		res.MeanPerCkptMB = res.TotalMB / float64(res.Checkpoints)
+	}
+	for _, c := range cps {
+		st := c.Stats()
+		res.CowMB += float64(st.CowCopyBytes) / MB
+		res.ExcludedMB += float64(st.ExcludedPages) * float64(r.Space(0).PageSize()) / MB
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// Every component of the reproduction — the simulated virtual memory, the
+// MPI layer, the checkpoint tracker and the synthetic workloads — advances a
+// single shared virtual clock owned by an Engine. Events scheduled at the
+// same virtual time fire in the order they were scheduled (FIFO tie-break),
+// which makes whole-cluster runs bit-for-bit reproducible regardless of host
+// scheduling.
+//
+// The engine is intentionally sequential: the paper's metrics (Incremental
+// Working Set, Incremental Bandwidth) are ratios of bytes to virtual time,
+// so no host-level parallelism inside one simulation is needed. Experiment
+// sweeps parallelise across independent Engine instances instead.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time has no relation to the host clock.
+type Time int64
+
+// Common durations expressed as virtual time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. Running an engine
+// until MaxTime drains every scheduled event.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as a floating-point number of virtual seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration for formatting purposes.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule and friends.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // index in the heap, -1 when not queued
+	dead bool
+}
+
+// Time reports the virtual time at which the event will fire (or fired).
+func (e *Event) Time() Time { return e.at }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.dead || e.idx < 0 {
+		return false
+	}
+	e.dead = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports the total number of events executed so far, a cheap proxy
+// for simulation work done (useful in benchmarks).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current virtual time.
+// A negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes the currently executing Run return after the in-flight event
+// completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue is empty, an event
+// calls Stop, or the next event would fire strictly after until. The clock
+// ends at the time of the last executed event, or at until when the run was
+// bounded and events remain. Run returns the number of events executed.
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for !e.stopped {
+		// Peek for the next live event.
+		var next *Event
+		for len(e.queue) > 0 {
+			if e.queue[0].dead {
+				heap.Pop(&e.queue)
+				continue
+			}
+			next = e.queue[0]
+			break
+		}
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			e.now = until
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// Ticker fires a callback at a fixed virtual period until cancelled.
+// It is the simulation analogue of the instrumentation library's
+// setitimer-based alarm.
+type Ticker struct {
+	eng    *Engine
+	period Time
+	fn     func(Time)
+	ev     *Event
+	done   bool
+}
+
+// NewTicker schedules fn to run every period, with the first firing at
+// Now()+period. The callback receives the firing time. period must be
+// positive.
+func (e *Engine) NewTicker(period Time, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, func() {
+		if t.done {
+			return
+		}
+		at := t.eng.Now()
+		t.fn(at)
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call from inside the callback.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.ev.Cancel()
+}
+
+// Period reports the ticker's firing period.
+func (t *Ticker) Period() Time { return t.period }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPageSizeAblation(t *testing.T) {
+	rows, err := PageSizeAblation(workload.Sage100MB(), RunOpts{Ranks: 4, Seed: 7}, []int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger pages → more bandwidth (false sharing), fewer faults.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgIBMBs < rows[i-1].AvgIBMBs*0.98 {
+			t.Errorf("IB fell with page size: %+v", rows)
+		}
+		if rows[i].FaultsPerSec >= rows[i-1].FaultsPerSec {
+			t.Errorf("faults did not fall with page size: %+v", rows)
+		}
+	}
+	// The finding this ablation documents: for these contiguous write
+	// patterns the bandwidth penalty of coarse pages is tiny (only
+	// extent-boundary pages are falsely shared), while the fault-rate
+	// saving is large — which is why the Itanium II's 16 KB pages are
+	// a good operating point for OS-level checkpointing.
+	if rows[0].FaultsPerSec < 8*rows[2].FaultsPerSec {
+		t.Errorf("4K vs 64K fault spread too small: %+v", rows)
+	}
+	if rows[2].AvgIBMBs > rows[0].AvgIBMBs*1.10 {
+		t.Errorf("64K bandwidth penalty implausibly large for contiguous sweeps: %+v", rows)
+	}
+	if rows[0].SlowdownPct <= rows[2].SlowdownPct {
+		t.Errorf("4K pages should cost more overhead: %+v", rows)
+	}
+}
+
+func TestPageSizeAblationDefaults(t *testing.T) {
+	rows, err := PageSizeAblation(workload.LU(), RunOpts{Ranks: 2, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1].PageSizeKB != 16 {
+		t.Fatalf("default sweep: %+v", rows)
+	}
+}
+
+func TestSinkComparison(t *testing.T) {
+	rows, err := SinkComparison(workload.Sage1000MB(), RunOpts{Ranks: 4, Seed: 7, Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%s infeasible for Sage-1000MB — contradicts §6.3", r.Sink)
+		}
+		if r.HeadroomAvg < r.HeadroomMax {
+			t.Errorf("%s: avg headroom below max headroom", r.Sink)
+		}
+		if r.CommitS <= 0 {
+			t.Errorf("%s: zero commit time", r.Sink)
+		}
+	}
+	// Diskless and network sinks share peak bandwidth; disk is slower.
+	if rows[1].PeakMBs >= rows[0].PeakMBs {
+		t.Error("disk peak should be below network peak")
+	}
+	if rows[2].CommitS >= rows[1].CommitS {
+		t.Error("diskless commit should beat disk commit")
+	}
+}
+
+func TestTrends(t *testing.T) {
+	rows, err := Trends(RunOpts{Ranks: 4, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 || rows[0].Year != 2004 || rows[8].Year != 2012 {
+		t.Fatalf("years: %+v", rows)
+	}
+	// 2004 anchors near the paper's margins.
+	if rows[0].NetHeadroom < 7 || rows[0].NetHeadroom > 15 {
+		t.Errorf("2004 network headroom = %.1f, want ~11", rows[0].NetHeadroom)
+	}
+	// §6.6's conclusion: the network margin *widens* over time...
+	if rows[8].NetHeadroom <= rows[0].NetHeadroom {
+		t.Errorf("network headroom did not widen: %.1f → %.1f", rows[0].NetHeadroom, rows[8].NetHeadroom)
+	}
+	// ...while disk, growing slower than the application, narrows —
+	// but stays feasible within the projection window.
+	if rows[8].DiskHeadroom >= rows[0].DiskHeadroom {
+		t.Errorf("disk headroom should narrow at 25%%/yr vs 32%%/yr app growth")
+	}
+	for _, r := range rows {
+		if r.DiskHeadroom <= 1 {
+			t.Errorf("year %d: disk infeasible (%.2f)", r.Year, r.DiskHeadroom)
+		}
+	}
+}
+
+func TestTrendsDefaultYears(t *testing.T) {
+	rows, err := Trends(RunOpts{Ranks: 2, Seed: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("default years: %d rows", len(rows))
+	}
+}

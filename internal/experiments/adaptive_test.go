@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestAdaptiveAlignment(t *testing.T) {
+	rows, err := AdaptiveAlignment(RunOpts{Ranks: 4, Seed: 7, Periods: 3}, 45*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fixed, adapt := rows[0], rows[1]
+	// Comparable cadence: within ~40% of each other's checkpoint count
+	// (deferral stretches the adaptive cadence a little).
+	if adapt.Checkpoints == 0 || fixed.Checkpoints == 0 {
+		t.Fatalf("no checkpoints: %+v", rows)
+	}
+	ratio := float64(adapt.Checkpoints) / float64(fixed.Checkpoints)
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Fatalf("cadences diverged: %d vs %d", adapt.Checkpoints, fixed.Checkpoints)
+	}
+	// The headline: aligning into quiet windows slashes CoW traffic.
+	if adapt.CowMB > fixed.CowMB*0.4 {
+		t.Fatalf("adaptive CoW %.1f MB not well below fixed %.1f MB", adapt.CowMB, fixed.CowMB)
+	}
+	// Adaptive triggers land predominantly in quiet slices.
+	if adapt.QuietShare < 0.9 {
+		t.Fatalf("quiet share %.2f too low", adapt.QuietShare)
+	}
+	if fixed.QuietShare != -1 {
+		t.Fatal("fixed policy should report n/a quiet share")
+	}
+	out := FormatAdaptive(rows)
+	if !strings.Contains(out, "quiet-window aligned") || !strings.Contains(out, "n/a") {
+		t.Error("FormatAdaptive output incomplete")
+	}
+}
+
+func TestBurstProfile(t *testing.T) {
+	rows, err := BurstProfile(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Every application is periodic (§6.2)...
+		if r.DetectedPeriodS <= 0 {
+			t.Errorf("%s: no period detected", r.App)
+		}
+		// ...with several bursts in the window and real quiet windows.
+		if r.Bursts < 3 {
+			t.Errorf("%s: only %d bursts", r.App, r.Bursts)
+		}
+		if r.DutyCycle <= 0 || r.DutyCycle >= 1 {
+			t.Errorf("%s: duty cycle %.2f", r.App, r.DutyCycle)
+		}
+		if r.QuietFrac <= 0.02 {
+			t.Errorf("%s: quiet fraction %.2f — nowhere to checkpoint", r.App, r.QuietFrac)
+		}
+	}
+	if FormatBursts(rows) == "" {
+		t.Error("empty format")
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// BurstRow characterises one application's bulk-synchronous structure —
+// the §6.2 graphs the paper describes for Sage and says "a similar
+// behavior can also be observed in Sweep3D, FT, LU, SP, and BT, but for
+// the sake of brevity the graphs are not plotted".
+type BurstRow struct {
+	App string
+	// DetectedPeriodS is the autocorrelation-detected main iteration.
+	DetectedPeriodS float64
+	// Bursts is the number of processing bursts in the analysis window.
+	Bursts int
+	// DutyCycle is the fraction of timeslices inside a burst.
+	DutyCycle float64
+	// QuietFrac is the fraction of timeslices with IWS below 10% of the
+	// peak — the windows "convenient to take a checkpoint" (§6.2).
+	QuietFrac float64
+}
+
+// BurstProfile measures the processing-burst structure of every
+// application at a timeslice fine enough to resolve its period.
+func BurstProfile(opts RunOpts) ([]BurstRow, error) {
+	specs := workload.All()
+	ro := make([]RunOpts, len(specs))
+	for i, s := range specs {
+		o := opts
+		o.Timeslice = s.PeriodAt(pick(o.Ranks, 64)) / 24
+		if o.Timeslice < 1e6 { // 1 ms floor
+			o.Timeslice = 1e6
+		}
+		o.Periods = periodsFor(s, 8*s.Paper.PeriodS)
+		ro[i] = o
+	}
+	runs, err := RunMany(specs, ro)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BurstRow, len(specs))
+	for i, r := range runs {
+		vals := r.IWS.Values()
+		bursts := metrics.FindBursts(vals, 0.25, 2)
+		var inBurst int
+		for _, b := range bursts {
+			inBurst += b.Duration()
+		}
+		var peak float64
+		for _, v := range vals {
+			if v > peak {
+				peak = v
+			}
+		}
+		quiet := 0
+		for _, v := range vals {
+			if v < 0.1*peak {
+				quiet++
+			}
+		}
+		dt := ro[i].Timeslice.Seconds()
+		rows[i] = BurstRow{
+			App: specs[i].Name,
+			// Exclude tick-scale aliasing: no credible period is
+			// shorter than half an iteration (8 of 24 slices).
+			DetectedPeriodS: metrics.DetectPeriodMin(vals, dt, 8*dt),
+			Bursts:          len(bursts),
+			DutyCycle:       float64(inBurst) / float64(len(vals)),
+			QuietFrac:       float64(quiet) / float64(len(vals)),
+		}
+	}
+	return rows, nil
+}
+
+// FormatBursts renders the profile as fixed-width text.
+func FormatBursts(rows []BurstRow) string {
+	s := fmt.Sprintf("%-12s %12s %8s %12s %12s\n", "Application", "period (s)", "bursts", "duty cycle", "quiet frac")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %12.2f %8d %11.0f%% %11.0f%%\n",
+			r.App, r.DetectedPeriodS, r.Bursts, r.DutyCycle*100, r.QuietFrac*100)
+	}
+	return s
+}

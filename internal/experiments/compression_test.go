@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompressionAblation(t *testing.T) {
+	rows, err := CompressionAblation(64, 18, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]CompressionRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	plain := byName["plain"]
+	if plain.PageBytesMB <= 0 || plain.PersistedMB <= 0 {
+		t.Fatalf("plain volumes: %+v", plain)
+	}
+	// Raw dirty volume is configuration-independent (same computation).
+	for _, r := range rows {
+		if r.PageBytesMB < plain.PageBytesMB*0.99 || r.PageBytesMB > plain.PageBytesMB*1.01 {
+			t.Errorf("%s raw volume %f differs from plain %f", r.Config, r.PageBytesMB, plain.PageBytesMB)
+		}
+	}
+	// Each optimisation must save something; both together the most.
+	if byName["compress"].PersistedMB >= plain.PersistedMB {
+		t.Error("compression saved nothing")
+	}
+	if byName["dedup"].PersistedMB >= plain.PersistedMB {
+		t.Error("dedup saved nothing")
+	}
+	if byName["dedup"].DedupSkipped == 0 {
+		t.Error("no deduplicated pages on a double-buffered stencil")
+	}
+	both := byName["compress+dedup"]
+	if both.PersistedMB > byName["compress"].PersistedMB || both.PersistedMB > byName["dedup"].PersistedMB {
+		t.Errorf("combined config not the smallest: %+v", rows)
+	}
+	if both.Savings <= 0.05 {
+		t.Errorf("combined savings only %.1f%%", both.Savings*100)
+	}
+	out := FormatCompression(rows)
+	if !strings.Contains(out, "compress+dedup") {
+		t.Error("FormatCompression output incomplete")
+	}
+}
+
+func TestCompressionAblationDefaults(t *testing.T) {
+	rows, err := CompressionAblation(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("defaults: %d rows", len(rows))
+	}
+}

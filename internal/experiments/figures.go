@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig1Result carries the two panels of Figure 1: the IWS size and the
+// data received per timeslice over the execution of Sage-1000MB at a 1 s
+// timeslice, including the initialization peak the paper shows (and then
+// excludes from analysis).
+type Fig1Result struct {
+	IWS  *metrics.Series // panel (a), MB per slice
+	Recv *metrics.Series // panel (b), MB per slice
+	// DetectedPeriodS is the gap between processing bursts, which the
+	// paper reads off this trace (145 s at 64 ranks).
+	DetectedPeriodS float64
+}
+
+// Fig1 reproduces Figure 1 (Sage-1000MB, timeslice 1 s).
+func Fig1(opts RunOpts) (*Fig1Result, error) {
+	spec := workload.Sage1000MB()
+	o := opts
+	o.Timeslice = des.Second
+	o.Periods = max(opts.Periods, 3)
+	o.IncludeInit = true
+	r, err := RunOne(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	// Exclude the init peak for period detection only.
+	analysed := r.IWS.After(r.IterZero.Seconds())
+	return &Fig1Result{
+		IWS:             r.IWS,
+		Recv:            r.Recv,
+		DetectedPeriodS: metrics.DetectPeriod(analysed.Values(), 1.0),
+	}, nil
+}
+
+// CurvePoint is one (timeslice, value) point of a figure curve.
+type CurvePoint struct {
+	TimesliceS float64
+	Value      float64
+}
+
+// Curve is a named series over the timeslice sweep.
+type Curve struct {
+	Name   string
+	Points []CurvePoint
+}
+
+// Fig2Result carries one application's max/avg IB versus timeslice —
+// one panel of Figure 2.
+type Fig2Result struct {
+	App        string
+	Avg        Curve
+	Max        Curve
+	PaperAvg1s float64 // Table 4 anchors the ts=1 point
+	PaperMax1s float64
+}
+
+// Fig2Apps returns the applications of Figure 2's six panels, in panel
+// order (a)-(f).
+func Fig2Apps() []workload.Spec {
+	return []workload.Spec{
+		workload.Sage1000MB(), workload.Sweep3D(), workload.BT(),
+		workload.SP(), workload.FT(), workload.LU(),
+	}
+}
+
+// Fig2 reproduces Figure 2: maximum and average IB required for
+// checkpointing each application, versus checkpoint timeslice.
+func Fig2(opts RunOpts, timeslices []des.Time) ([]Fig2Result, error) {
+	if len(timeslices) == 0 {
+		timeslices = DefaultTimeslices()
+	}
+	var out []Fig2Result
+	for _, spec := range Fig2Apps() {
+		o := opts
+		o.Periods = periodsFor(spec, 30)
+		runs, err := sweepTimeslices(spec, o, timeslices)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig2Result{
+			App:        spec.Name,
+			Avg:        Curve{Name: "Average"},
+			Max:        Curve{Name: "Maximum"},
+			PaperAvg1s: spec.Paper.AvgIBMBs,
+			PaperMax1s: spec.Paper.MaxIBMBs,
+		}
+		for i, r := range runs {
+			m := r.IBSummary()
+			ts := timeslices[i].Seconds()
+			res.Avg.Points = append(res.Avg.Points, CurvePoint{ts, m.Mean})
+			res.Max.Points = append(res.Max.Points, CurvePoint{ts, m.Max})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig3Result carries Figure 3 (and Figure 4, which derives from the same
+// runs): the average IB and the IWS/footprint ratio versus timeslice for
+// the four Sage memory sizes.
+type Fig3Result struct {
+	// AvgIB has one curve per Sage footprint (Fig 3, MB/s).
+	AvgIB []Curve
+	// Ratio has one curve per Sage footprint (Fig 4, % of memory image
+	// written per timeslice).
+	Ratio []Curve
+}
+
+// SageSpecs returns the four Sage configurations, largest first (legend
+// order of Figures 3-4).
+func SageSpecs() []workload.Spec {
+	return []workload.Spec{
+		workload.Sage1000MB(), workload.Sage500MB(),
+		workload.Sage100MB(), workload.Sage50MB(),
+	}
+}
+
+// Fig3 reproduces Figures 3 and 4 from one sweep: average IB, and the
+// ratio of IWS size to memory image size, versus timeslice for Sage at
+// 50/100/500/1000 MB.
+func Fig3(opts RunOpts, timeslices []des.Time) (*Fig3Result, error) {
+	if len(timeslices) == 0 {
+		timeslices = DefaultTimeslices()
+	}
+	out := &Fig3Result{}
+	for _, spec := range SageSpecs() {
+		o := opts
+		o.Periods = periodsFor(spec, 30)
+		runs, err := sweepTimeslices(spec, o, timeslices)
+		if err != nil {
+			return nil, err
+		}
+		ib := Curve{Name: spec.Name}
+		ratio := Curve{Name: spec.Name}
+		for i, r := range runs {
+			ts := timeslices[i].Seconds()
+			ib.Points = append(ib.Points, CurvePoint{ts, r.IBSummary().Mean})
+			iws := metrics.Summarize(r.IWS).Mean
+			fp := r.FootprintSummary().Mean
+			if fp > 0 {
+				ratio.Points = append(ratio.Points, CurvePoint{ts, 100 * iws / fp})
+			}
+		}
+		out.AvgIB = append(out.AvgIB, ib)
+		out.Ratio = append(out.Ratio, ratio)
+	}
+	return out, nil
+}
+
+// Fig5Result carries Figure 5: average IB versus timeslice for
+// Sage-1000MB at 8, 16, 32 and 64 processors under weak scaling.
+type Fig5Result struct {
+	// Curves is ordered largest rank count first (the paper's legend:
+	// 64, 32, 16, 8).
+	Curves []Curve
+}
+
+// Fig5Ranks returns the processor counts of Figure 5.
+func Fig5Ranks() []int { return []int{64, 32, 16, 8} }
+
+// Fig5 reproduces Figure 5: the per-process bandwidth requirement is
+// essentially independent of the processor count, decreasing slightly as
+// ranks increase (§6.4.2).
+func Fig5(opts RunOpts, timeslices []des.Time) (*Fig5Result, error) {
+	if len(timeslices) == 0 {
+		timeslices = DefaultTimeslices()
+	}
+	spec := workload.Sage1000MB()
+	out := &Fig5Result{}
+	for _, ranks := range Fig5Ranks() {
+		o := opts
+		o.Ranks = ranks
+		o.Periods = max(opts.Periods, 3)
+		runs, err := sweepTimeslices(spec, o, timeslices)
+		if err != nil {
+			return nil, err
+		}
+		c := Curve{Name: fmt.Sprintf("%d", ranks)}
+		for i, r := range runs {
+			c.Points = append(c.Points, CurvePoint{timeslices[i].Seconds(), r.IBSummary().Mean})
+		}
+		out.Curves = append(out.Curves, c)
+	}
+	return out, nil
+}
+
+// FormatSeries renders a metrics series as two-column text.
+func FormatSeries(s *metrics.Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%10.2f %12.4f\n", p.T, p.V)
+	}
+	return b.String()
+}
+
+// FormatCurves renders curves as a column-per-curve table keyed by
+// timeslice.
+func FormatCurves(curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "timeslice(s)")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %14s", c.Name)
+	}
+	b.WriteByte('\n')
+	if len(curves) == 0 || len(curves[0].Points) == 0 {
+		return b.String()
+	}
+	for i := range curves[0].Points {
+		fmt.Fprintf(&b, "%12.1f", curves[0].Points[i].TimesliceS)
+		for _, c := range curves {
+			if i < len(c.Points) {
+				fmt.Fprintf(&b, " %14.2f", c.Points[i].Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

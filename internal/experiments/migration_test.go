@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMigrationPhases(t *testing.T) {
+	rows, err := MigrationPhases(RunOpts{Ranks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	burst, window := rows[0], rows[1]
+	// Migrating against the write burst costs more traffic...
+	if burst.TotalGB <= window.TotalGB {
+		t.Errorf("burst migration traffic %.2f GB not above window %.2f GB", burst.TotalGB, window.TotalGB)
+	}
+	// ...and the quiet window converges in essentially one round.
+	if window.Rounds > 3 {
+		t.Errorf("window migration took %d rounds", window.Rounds)
+	}
+	if !window.Converged {
+		t.Error("window migration did not converge")
+	}
+	// Both ship at least the footprint (~0.66-0.96 GB of mapped pages).
+	if burst.TotalGB < 0.5 || window.TotalGB < 0.5 {
+		t.Errorf("traffic below footprint: %+v", rows)
+	}
+	if !strings.Contains(FormatMigration(rows), "downtime") {
+		t.Error("FormatMigration header")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRankSymmetry(t *testing.T) {
+	res, err := RankSymmetry(workload.SP(), RunOpts{Ranks: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 8 || len(res.PerRankAvg) != 8 {
+		t.Fatalf("ranks: %+v", res)
+	}
+	// §6.1's premise: per-rank behaviour is near-identical. Allow 10%.
+	if res.MaxSpread > 0.10 {
+		t.Fatalf("per-rank spread %.1f%% breaks the bulk-synchronous premise: %v",
+			res.MaxSpread*100, res.PerRankAvg)
+	}
+	// And the mean matches the single-rank measurement (Table 4: 32.6).
+	if res.MeanMBs < 25 || res.MeanMBs > 40 {
+		t.Fatalf("mean per-rank IB = %.1f", res.MeanMBs)
+	}
+}
+
+func TestAggregateFeasibility(t *testing.T) {
+	rows, err := AggregateFeasibility(workload.Sage1000MB(), RunOpts{Ranks: 4, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[3].Ranks != 65536 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for i, r := range rows {
+		// Per-node disks stay feasible at any scale — the paper's
+		// scalability argument.
+		if !r.PerNodeFeasible {
+			t.Errorf("per-node disks infeasible at %d ranks", r.Ranks)
+		}
+		if i > 0 && r.AggregateGBs <= rows[i-1].AggregateGBs {
+			t.Error("aggregate stream must grow with ranks")
+		}
+	}
+	// BlueGene/L scale: ~80 MB/s x 65536 = several TB/s aggregate.
+	if rows[3].AggregateGBs < 3000 || rows[3].AggregateGBs > 9000 {
+		t.Errorf("aggregate at 65536 ranks = %.0f GB/s, want several thousand", rows[3].AggregateGBs)
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Table2Row is one application's memory footprint (paper Table 2).
+type Table2Row struct {
+	App          string
+	MaxMB, AvgMB float64
+	PaperMax     float64
+	PaperAvg     float64
+}
+
+// Table2 measures the per-process memory footprint of every application:
+// the per-timeslice mapped data memory's maximum and average.
+func Table2(opts RunOpts) ([]Table2Row, error) {
+	specs := workload.All()
+	ro := make([]RunOpts, len(specs))
+	for i, s := range specs {
+		o := opts
+		o.Periods = periodsFor(s, 10)
+		ro[i] = o
+	}
+	results, err := RunMany(specs, ro)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(results))
+	for i, r := range results {
+		m := r.FootprintSummary()
+		rows[i] = Table2Row{
+			App:      r.Spec.Name,
+			MaxMB:    m.Max,
+			AvgMB:    m.Mean,
+			PaperMax: r.Spec.Paper.MaxFootprintMB,
+			PaperAvg: r.Spec.Paper.AvgFootprintMB,
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row is one application's main-iteration characteristics (paper
+// Table 3).
+type Table3Row struct {
+	App          string
+	PeriodS      float64
+	OverwritePct float64
+	PaperPeriod  float64
+	PaperPct     float64
+}
+
+// Table3 measures each application's main-iteration period (detected by
+// autocorrelation of a fine-timeslice IWS trace, as the paper reads the
+// gap between processing bursts) and the percentage of the memory image
+// overwritten per iteration (mean IWS at period-granularity timeslices
+// aligned to iteration boundaries, divided by the mean footprint).
+func Table3(opts RunOpts) ([]Table3Row, error) {
+	specs := workload.All()
+
+	// Pass 1: fine-grained runs for period detection.
+	fineOpts := make([]RunOpts, len(specs))
+	for i, s := range specs {
+		o := opts
+		o.Timeslice = s.PeriodAt(pick(o.Ranks, 64)) / 16
+		if o.Timeslice < des.Millisecond {
+			o.Timeslice = des.Millisecond
+		}
+		o.Periods = periodsFor(s, 8*s.Paper.PeriodS)
+		fineOpts[i] = o
+	}
+	fine, err := RunMany(specs, fineOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: period-granularity runs for the overwrite fraction.
+	coarseOpts := make([]RunOpts, len(specs))
+	for i, s := range specs {
+		o := opts
+		o.Timeslice = s.PeriodAt(pick(o.Ranks, 64))
+		o.Periods = periodsFor(s, 10)
+		coarseOpts[i] = o
+	}
+	coarse, err := RunMany(specs, coarseOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table3Row, len(specs))
+	for i := range specs {
+		dt := fineOpts[i].Timeslice.Seconds()
+		period := metrics.DetectPeriod(fine[i].IWS.Values(), dt)
+		iws := metrics.Summarize(coarse[i].IWS)
+		// Denominator: the time-averaged memory image from the fine
+		// pass. The coarse pass's alarms land at iteration boundaries,
+		// where a dynamic allocator (Sage) has its transient arenas
+		// unmapped, which would understate the image size.
+		fp := metrics.Summarize(fine[i].Footprint)
+		pct := 0.0
+		if fp.Mean > 0 {
+			pct = 100 * iws.Mean / fp.Mean
+		}
+		rows[i] = Table3Row{
+			App:          specs[i].Name,
+			PeriodS:      period,
+			OverwritePct: pct,
+			PaperPeriod:  specs[i].Paper.PeriodS,
+			PaperPct:     specs[i].Paper.OverwritePct,
+		}
+	}
+	return rows, nil
+}
+
+// Table4Row is one application's bandwidth requirement at a 1 s timeslice
+// (paper Table 4), with the feasibility headroom of §6.3.
+type Table4Row struct {
+	App            string
+	MaxMBs, AvgMBs float64
+	PaperMax       float64
+	PaperAvg       float64
+	// PctOfNetwork and PctOfDisk express the average requirement as a
+	// percentage of the QsNet (900 MB/s) and SCSI (320 MB/s) peaks.
+	PctOfNetwork float64
+	PctOfDisk    float64
+}
+
+// Table4 measures the maximum and average Incremental Bandwidth of every
+// application at the paper's reference 1 s timeslice, excluding the
+// initialization burst.
+func Table4(opts RunOpts) ([]Table4Row, error) {
+	specs := workload.All()
+	ro := make([]RunOpts, len(specs))
+	for i, s := range specs {
+		o := opts
+		o.Timeslice = des.Second
+		o.Periods = periodsFor(s, 20)
+		ro[i] = o
+	}
+	results, err := RunMany(specs, ro)
+	if err != nil {
+		return nil, err
+	}
+	net := storage.QsNetSink().Bandwidth / MB
+	disk := storage.SCSISink().Bandwidth / MB
+	rows := make([]Table4Row, len(results))
+	for i, r := range results {
+		m := r.IBSummary()
+		rows[i] = Table4Row{
+			App:          r.Spec.Name,
+			MaxMBs:       m.Max,
+			AvgMBs:       m.Mean,
+			PaperMax:     r.Spec.Paper.MaxIBMBs,
+			PaperAvg:     r.Spec.Paper.AvgIBMBs,
+			PctOfNetwork: 100 * m.Mean / net,
+			PctOfDisk:    100 * m.Mean / disk,
+		}
+	}
+	return rows, nil
+}
+
+func pick(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// FormatTable2 renders Table 2 rows as fixed-width text.
+func FormatTable2(rows []Table2Row) string {
+	s := fmt.Sprintf("%-12s %10s %10s %12s %12s\n", "Application", "Max (MB)", "Avg (MB)", "paper max", "paper avg")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %10.1f %10.1f %12.1f %12.1f\n", r.App, r.MaxMB, r.AvgMB, r.PaperMax, r.PaperAvg)
+	}
+	return s
+}
+
+// FormatTable3 renders Table 3 rows as fixed-width text.
+func FormatTable3(rows []Table3Row) string {
+	s := fmt.Sprintf("%-12s %11s %13s %12s %10s\n", "Application", "Period (s)", "Overwrite (%)", "paper per.", "paper %")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %11.2f %13.1f %12.2f %10.0f\n", r.App, r.PeriodS, r.OverwritePct, r.PaperPeriod, r.PaperPct)
+	}
+	return s
+}
+
+// FormatTable4 renders Table 4 rows as fixed-width text.
+func FormatTable4(rows []Table4Row) string {
+	s := fmt.Sprintf("%-12s %11s %11s %11s %11s %8s %8s\n",
+		"Application", "Max (MB/s)", "Avg (MB/s)", "paper max", "paper avg", "%net", "%disk")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %11.1f %11.1f %11.1f %11.1f %7.1f%% %7.1f%%\n",
+			r.App, r.MaxMBs, r.AvgMBs, r.PaperMax, r.PaperAvg, r.PctOfNetwork, r.PctOfDisk)
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Attach constructors rebuild kernel handles over a *restored* address
+// space: after ckpt.Restore recreates the regions at their original
+// addresses with their checkpointed contents, these functions locate the
+// kernel's arenas and resume computation from the checkpointed iteration.
+// Together with the New constructors they give every kernel a full
+// crash/restore round trip, exercised by the integration tests.
+
+// gridRegions returns the mmap regions that exactly hold `elems`
+// float64s, in address order.
+func gridRegions(space *mem.AddressSpace, elems int) []*mem.Region {
+	want := uint64(elems) * 8
+	var out []*mem.Region
+	for _, r := range space.Regions() {
+		if r.Kind() == mem.Mmap && r.Size() >= want && r.Size() < want+space.PageSize() {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start() < out[j].Start() })
+	return out
+}
+
+// attachSingleGrid binds the unique grid-sized arena in the space.
+func attachSingleGrid(space *mem.AddressSpace, elems int) (*Array, error) {
+	regs := gridRegions(space, elems)
+	if len(regs) != 1 {
+		return nil, fmt.Errorf("kernels: found %d candidate grid arenas, want 1", len(regs))
+	}
+	return AttachArray(space, regs[0].Start(), elems)
+}
+
+// AttachSSOR rebuilds an SSOR handle over a restored space. omega must
+// match the original; iter is the completed-iteration count at the
+// checkpoint.
+func AttachSSOR(space *mem.AddressSpace, nx, ny int, omega float64, iter int) (*SSOR, error) {
+	if nx < 3 || ny < 3 || omega <= 0 || omega >= 2 || iter < 0 {
+		return nil, fmt.Errorf("kernels: bad SSOR attach parameters")
+	}
+	u, err := attachSingleGrid(space, nx*ny)
+	if err != nil {
+		return nil, err
+	}
+	return &SSOR{nx: nx, ny: ny, u: u, omega: omega, iter: iter}, nil
+}
+
+// AttachWavefront rebuilds a Wavefront handle over a restored space.
+func AttachWavefront(space *mem.AddressSpace, nx, ny, iter int) (*Wavefront, error) {
+	if nx < 2 || ny < 2 || iter < 0 {
+		return nil, fmt.Errorf("kernels: bad wavefront attach parameters")
+	}
+	v, err := attachSingleGrid(space, nx*ny)
+	if err != nil {
+		return nil, err
+	}
+	return &Wavefront{nx: nx, ny: ny, v: v, iter: iter}, nil
+}
+
+// AttachADI rebuilds an ADI handle over a restored space. lambda must
+// match the original.
+func AttachADI(space *mem.AddressSpace, nx, ny int, lambda float64, iter int) (*ADI, error) {
+	if nx < 3 || ny < 3 || lambda <= 0 || iter < 0 {
+		return nil, fmt.Errorf("kernels: bad ADI attach parameters")
+	}
+	u, err := attachSingleGrid(space, nx*ny)
+	if err != nil {
+		return nil, err
+	}
+	return &ADI{nx: nx, ny: ny, u: u, lambda: lambda, iter: iter}, nil
+}
+
+// AttachFFT rebuilds an FFT handle over a restored space; pass is the
+// number of butterfly passes completed at the checkpoint (the ping-pong
+// parity selects which buffer holds the live data).
+func AttachFFT(space *mem.AddressSpace, n, pass int) (*FFT, error) {
+	if n < 2 || n&(n-1) != 0 || pass < 0 {
+		return nil, fmt.Errorf("kernels: bad FFT attach parameters")
+	}
+	regs := gridRegions(space, 2*n)
+	if len(regs) != 2 {
+		return nil, fmt.Errorf("kernels: found %d candidate FFT buffers, want 2", len(regs))
+	}
+	x, err := AttachArray(space, regs[0].Start(), 2*n)
+	if err != nil {
+		return nil, err
+	}
+	y, err := AttachArray(space, regs[1].Start(), 2*n)
+	if err != nil {
+		return nil, err
+	}
+	return &FFT{n: n, x: x, y: y, pass: pass}, nil
+}

@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+func distWorld(t *testing.T, ranks int) (*des.Engine, *mpi.World) {
+	t.Helper()
+	eng := des.NewEngine()
+	spaces := make([]*mem.AddressSpace, ranks)
+	for i := range spaces {
+		spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	}
+	w, err := mpi.NewWorld(eng, mpi.QsNet(), mpi.Bounce, spaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, w
+}
+
+func TestDistStencilMatchesGlobalReference(t *testing.T) {
+	const nx, rows, ranks, iters = 16, 4, 4, 10
+	eng, w := distWorld(t, ranks)
+	d, err := NewDistStencil(eng, w, nx, rows, 7.5, 10*des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	d.Run(iters, nil, func() { done = true })
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("distributed run never completed")
+	}
+	if d.Iter() != iters {
+		t.Fatalf("iterations = %d", d.Iter())
+	}
+	got, err := d.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GlobalReference(nx, rows, ranks, iters, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: distributed %v != global %v (bit-exactness lost)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistStencilSingleRank(t *testing.T) {
+	eng, w := distWorld(t, 1)
+	d, err := NewDistStencil(eng, w, 12, 6, 3, des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	d.Run(5, nil, func() { done = true })
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("single-rank run never completed")
+	}
+	got, _ := d.Gather()
+	want, _ := GlobalReference(12, 6, 1, 5, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestDistStencilIterationHook(t *testing.T) {
+	eng, w := distWorld(t, 2)
+	d, _ := NewDistStencil(eng, w, 8, 3, 1, des.Millisecond)
+	var hooks []int
+	d.Run(4, func(iter int, next func()) {
+		hooks = append(hooks, iter)
+		// Insert a virtual pause before resuming — like a checkpoint.
+		eng.After(50*des.Millisecond, next)
+	}, nil)
+	eng.Run(des.MaxTime)
+	if len(hooks) != 4 || hooks[0] != 1 || hooks[3] != 4 {
+		t.Fatalf("hooks = %v", hooks)
+	}
+	// Pauses must show in virtual time: 4 iterations x (exchange +
+	// 1ms compute + 50ms pause) > 200ms.
+	if eng.Now() < 200*des.Millisecond {
+		t.Fatalf("elapsed %v too short for paused iterations", eng.Now())
+	}
+}
+
+func TestDistStencilStop(t *testing.T) {
+	eng, w := distWorld(t, 2)
+	d, _ := NewDistStencil(eng, w, 8, 3, 1, des.Millisecond)
+	finished := false
+	d.Run(1000, func(iter int, next func()) {
+		if iter == 3 {
+			d.Stop()
+			return // never resume
+		}
+		next()
+	}, func() { finished = true })
+	eng.Run(des.MaxTime)
+	if finished {
+		t.Fatal("stopped run reported completion")
+	}
+	if d.Iter() != 3 {
+		t.Fatalf("iterations after stop = %d", d.Iter())
+	}
+}
+
+func TestDistStencilValidation(t *testing.T) {
+	eng, w := distWorld(t, 2)
+	if _, err := NewDistStencil(eng, w, 2, 3, 1, des.Millisecond); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := NewDistStencil(eng, w, 8, 0, 1, des.Millisecond); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewDistStencil(eng, w, 8, 3, 1, 0); err == nil {
+		t.Fatal("zero compute time accepted")
+	}
+}
+
+func TestDistStencilHaloWritesAreTracked(t *testing.T) {
+	// Halo payload deliveries must take write faults on protected grid
+	// pages (the §4.2 bounce path), so checkpointers see them.
+	eng, w := distWorld(t, 2)
+	d, err := NewDistStencil(eng, w, 512, 4, 1, des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := w.Rank(1).Space()
+	var haloFaults int
+	sp.SetFaultHandler(func(f mem.Fault) {
+		haloFaults++
+		f.Region.SetProtected(f.Page, false)
+	})
+	// Protect only rank 1's grids; the halo from rank 0 must fault.
+	d.Grid(1).Cur().Region().ProtectAll()
+	done := false
+	d.Run(1, nil, func() { done = true })
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("run incomplete")
+	}
+	if haloFaults == 0 {
+		t.Fatal("halo delivery bypassed write-fault tracking")
+	}
+}
+
+func BenchmarkDistStencilIteration(b *testing.B) {
+	eng := des.NewEngine()
+	spaces := make([]*mem.AddressSpace, 4)
+	for i := range spaces {
+		spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	}
+	w, _ := mpi.NewWorld(eng, mpi.QsNet(), mpi.Bounce, spaces)
+	d, _ := NewDistStencil(eng, w, 64, 16, 1, des.Millisecond)
+	b.SetBytes(4 * 64 * 18 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		d.Run(d.Iter()+1, nil, func() { done = true })
+		eng.Run(des.MaxTime)
+		if !done {
+			b.Fatal("iteration incomplete")
+		}
+	}
+}
+
+// mpiWorld builds a world over existing spaces (recovery-path helper for
+// tests).
+func mpiWorld(eng *des.Engine, spaces []*mem.AddressSpace) (*mpi.World, error) {
+	return mpi.NewWorld(eng, mpi.QsNet(), mpi.Bounce, spaces)
+}

@@ -1,0 +1,182 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/des"
+	"repro/internal/storage"
+)
+
+func TestDistWavefrontMatchesReference(t *testing.T) {
+	const nx, rows, ranks, iters = 12, 3, 4, 6
+	eng, w := distWorld(t, ranks)
+	d, err := NewDistWavefront(eng, w, nx, rows, 5, 5*des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	d.Run(iters, nil, func() { done = true })
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("pipelined run never completed")
+	}
+	got, err := d.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WavefrontReference(nx, rows, ranks, iters, 5)
+	if len(got) != len(want) {
+		t.Fatalf("lengths: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: %v != %v (pipelined sweep diverged)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistWavefrontSingleRank(t *testing.T) {
+	eng, w := distWorld(t, 1)
+	d, err := NewDistWavefront(eng, w, 8, 5, 2, des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(4, nil, nil)
+	eng.Run(des.MaxTime)
+	got, _ := d.Gather()
+	want := WavefrontReference(8, 5, 1, 4, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("single-rank cell %d mismatch", i)
+		}
+	}
+}
+
+// The chain dependency must serialize in virtual time: with R ranks and
+// per-strip cost C, one iteration takes about 2*R*C (two directional
+// chains), unlike the stencil's parallel R-independent sweep.
+func TestDistWavefrontPipelineTiming(t *testing.T) {
+	const ranks = 4
+	compute := 100 * des.Millisecond
+	eng, w := distWorld(t, ranks)
+	d, _ := NewDistWavefront(eng, w, 8, 2, 1, compute)
+	d.Run(1, nil, nil)
+	eng.Run(des.MaxTime)
+	elapsed := eng.Now()
+	wantMin := des.Time(2*ranks) * compute
+	if elapsed < wantMin {
+		t.Fatalf("iteration took %v, chain serialization demands >= %v", elapsed, wantMin)
+	}
+	if elapsed > wantMin+des.Second {
+		t.Fatalf("iteration took %v, far above the chain cost %v", elapsed, wantMin)
+	}
+}
+
+func TestDistWavefrontStopAndHook(t *testing.T) {
+	eng, w := distWorld(t, 2)
+	d, _ := NewDistWavefront(eng, w, 8, 2, 1, des.Millisecond)
+	var hooks []int
+	d.Run(100, func(iter int, next func()) {
+		hooks = append(hooks, iter)
+		if iter == 2 {
+			d.Stop()
+			return
+		}
+		next()
+	}, func() { t.Fatal("stopped run completed") })
+	eng.Run(des.MaxTime)
+	if len(hooks) != 2 || d.Iter() != 2 {
+		t.Fatalf("hooks=%v iter=%d", hooks, d.Iter())
+	}
+}
+
+func TestDistWavefrontValidation(t *testing.T) {
+	eng, w := distWorld(t, 2)
+	if _, err := NewDistWavefront(eng, w, 1, 2, 1, des.Millisecond); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := NewDistWavefront(eng, w, 8, 0, 1, des.Millisecond); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewDistWavefront(eng, w, 8, 2, 1, 0); err == nil {
+		t.Fatal("zero compute accepted")
+	}
+}
+
+// Full crash/restore cycle for the pipelined kernel: coordinated
+// checkpoints at iteration boundaries, failure, RestoreAll, re-attach,
+// resume — final answer identical to an uninterrupted run.
+func TestDistWavefrontCrashRecovery(t *testing.T) {
+	const nx, rows, ranks, total = 10, 3, 3, 9
+	ref := WavefrontReference(nx, rows, ranks, total, 4)
+
+	eng, w := distWorld(t, ranks)
+	d, err := NewDistWavefront(eng, w, nx, rows, 4, des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewMemStore()
+	var cps []*ckpt.Checkpointer
+	for i := 0; i < ranks; i++ {
+		c, err := ckpt.NewCheckpointer(eng, w.Rank(i).Space(), ckpt.Options{Rank: i, Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Exclude(w.BounceRegion(i))
+		c.Start()
+		cps = append(cps, c)
+	}
+	co, _ := ckpt.NewCoordinator(eng, cps)
+
+	crashAt, ckptEvery := 7, 3
+	lastLine := 0
+	d.Run(total, func(iter int, next func()) {
+		if iter%ckptEvery == 0 {
+			if _, err := co.GlobalCheckpoint(); err != nil {
+				t.Error(err)
+			}
+			lastLine = iter
+		}
+		if iter == crashAt {
+			d.Stop() // failure: abandon this incarnation
+			return
+		}
+		next()
+	}, nil)
+	eng.Run(des.MaxTime)
+	if d.Iter() != crashAt {
+		t.Fatalf("crashed at iter %d, want %d", d.Iter(), crashAt)
+	}
+
+	// Recovery on the same engine: restore all ranks, rebuild the
+	// world, re-attach, resume from the line.
+	seq, ok, err := ckpt.LatestConsistentSeq(store, ranks)
+	if err != nil || !ok {
+		t.Fatalf("no recovery line: %v", err)
+	}
+	spaces, err := ckpt.RestoreAll(store, ranks, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := mpiWorld(eng, spaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := AttachDistWavefront(eng, w2, nx, rows, 4, des.Millisecond, lastLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	d2.Run(total, nil, func() { done = true })
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("resumed run never completed")
+	}
+	got, _ := d2.Gather()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("cell %d after recovery: %v != %v", i, got[i], ref[i])
+		}
+	}
+}

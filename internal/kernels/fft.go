@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/mem"
+)
+
+// FFT is an out-of-place iterative radix-2 Stockham FFT whose complex
+// data lives in two ping-pong arrays in a simulated address space — the
+// scaled-down counterpart of NAS FT. Each pass reads one buffer and
+// writes the other, so the write set alternates between two arenas, the
+// double-buffering pattern that shapes FT's measured IWS.
+type FFT struct {
+	n    int
+	x, y *Array // interleaved re/im pairs: 2n float64 each
+	pass int    // completed butterfly passes (for mid-transform ckpt tests)
+}
+
+// NewFFT allocates ping-pong buffers for an n-point transform (n a power
+// of two).
+func NewFFT(space *mem.AddressSpace, n int) (*FFT, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("kernels: FFT size %d is not a power of two >= 2", n)
+	}
+	x, err := NewArray(space, 2*n)
+	if err != nil {
+		return nil, err
+	}
+	y, err := NewArray(space, 2*n)
+	if err != nil {
+		return nil, err
+	}
+	return &FFT{n: n, x: x, y: y}, nil
+}
+
+// N returns the transform size.
+func (f *FFT) N() int { return f.n }
+
+// Load writes the input signal into the primary buffer.
+func (f *FFT) Load(signal []complex128) error {
+	if len(signal) != f.n {
+		return fmt.Errorf("kernels: FFT input length %d, want %d", len(signal), f.n)
+	}
+	buf := make([]float64, 2*f.n)
+	for i, c := range signal {
+		buf[2*i] = real(c)
+		buf[2*i+1] = imag(c)
+	}
+	f.pass = 0
+	return f.x.Write(buf, 0)
+}
+
+// cur returns (src, dst) for the next pass.
+func (f *FFT) cur() (*Array, *Array) {
+	if f.pass%2 == 0 {
+		return f.x, f.y
+	}
+	return f.y, f.x
+}
+
+// Transform runs the full forward FFT and returns the spectrum.
+func (f *FFT) Transform() ([]complex128, error) {
+	passes := 0
+	for 1<<passes < f.n {
+		passes++
+	}
+	for p := 0; p < passes; p++ {
+		if err := f.Pass(); err != nil {
+			return nil, err
+		}
+	}
+	return f.Result()
+}
+
+// Pass performs one Stockham butterfly pass (there are log2(n) in total).
+// Exposing single passes lets checkpoint tests interrupt the transform
+// midway.
+func (f *FFT) Pass() error {
+	src, dst := f.cur()
+	n := f.n
+	l := 1 << f.pass // current butterfly span
+	in := make([]float64, 2*n)
+	out := make([]float64, 2*n)
+	if err := src.Read(in, 0); err != nil {
+		return err
+	}
+	half := n / 2
+	for j := 0; j < l; j++ {
+		w := cmplx.Exp(complex(0, -math.Pi*float64(j)/float64(l)))
+		for k := j; k < half; k += l {
+			aRe, aIm := in[2*k], in[2*k+1]
+			bRe, bIm := in[2*(k+half)], in[2*(k+half)+1]
+			b := complex(bRe, bIm) * w
+			// Stockham self-sorting placement: group q of span l
+			// scatters to j + 2*l*q and j + 2*l*q + l.
+			kq := (k - j) / l
+			outIdx := j + 2*l*kq
+			a := complex(aRe, aIm)
+			sum := a + b
+			diff := a - b
+			out[2*outIdx] = real(sum)
+			out[2*outIdx+1] = imag(sum)
+			out[2*(outIdx+l)] = real(diff)
+			out[2*(outIdx+l)+1] = imag(diff)
+		}
+	}
+	if err := dst.Write(out, 0); err != nil {
+		return err
+	}
+	f.pass++
+	return nil
+}
+
+// Result reads the spectrum out of the buffer holding the latest pass.
+func (f *FFT) Result() ([]complex128, error) {
+	src, _ := f.cur()
+	buf := make([]float64, 2*f.n)
+	if err := src.Read(buf, 0); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, f.n)
+	for i := range out {
+		out[i] = complex(buf[2*i], buf[2*i+1])
+	}
+	return out, nil
+}
+
+// NaiveDFT computes the reference O(n^2) transform of signal, for
+// validating the FFT.
+func NaiveDFT(signal []complex128) []complex128 {
+	n := len(signal)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += signal[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NewFFTInSpace is a convenience that builds the FFT in a fresh backed
+// space and returns both.
+func NewFFTInSpace(n int) (*FFT, *mem.AddressSpace, error) {
+	space := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	f, err := NewFFT(space, n)
+	return f, space, err
+}

@@ -1,0 +1,494 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func space() *mem.AddressSpace {
+	return mem.NewAddressSpace(mem.Config{PageSize: 4096})
+}
+
+func TestArrayBasics(t *testing.T) {
+	sp := space()
+	a, err := NewArray(sp, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1000 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if _, err := NewArray(sp, 0); err == nil {
+		t.Fatal("zero-length array accepted")
+	}
+	src := []float64{1.5, -2.25, math.Pi}
+	if err := a.Write(src, 10); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 3)
+	if err := a.Read(dst, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip: %v != %v", dst, src)
+		}
+	}
+	if v, _ := a.At(11); v != -2.25 {
+		t.Fatalf("At(11) = %v", v)
+	}
+	// Bounds.
+	if err := a.Write(src, 999); err == nil {
+		t.Fatal("overflow write accepted")
+	}
+	if err := a.Read(dst, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	// Fill + checksum.
+	if err := a.Fill(2); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := a.Checksum()
+	if err != nil || sum != 2000 {
+		t.Fatalf("Checksum = %v, %v", sum, err)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Write/Read round-trips arbitrary finite float64s.
+func TestPropertyArrayRoundTrip(t *testing.T) {
+	sp := space()
+	a, _ := NewArray(sp, 256)
+	f := func(vals []float64, off uint8) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		o := int(off) % 56
+		if err := a.Write(vals, o); err != nil {
+			return false
+		}
+		got := make([]float64, len(vals))
+		if err := a.Read(got, o); err != nil {
+			return false
+		}
+		for i := range vals {
+			// NaN round-trips bit-exactly but compares unequal.
+			if got[i] != vals[i] && !(math.IsNaN(got[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStencilConvergesToBoundary(t *testing.T) {
+	sp := space()
+	s, err := NewStencil2D(sp, 16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	// With all boundaries at 10 and Laplace's equation, the interior
+	// converges to 10 everywhere.
+	v, err := s.Cur().At(8*16 + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-10) > 0.01 {
+		t.Fatalf("interior = %v, want ~10", v)
+	}
+	res, err := s.Residual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 0.01 {
+		t.Fatalf("residual = %v", res)
+	}
+	if s.Iter() != 400 {
+		t.Fatalf("Iter = %d", s.Iter())
+	}
+}
+
+func TestStencilMaximumPrinciple(t *testing.T) {
+	sp := space()
+	s, _ := NewStencil2D(sp, 12, 12, 5)
+	for i := 0; i < 50; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// Every interior value stays within [min, max] of the data —
+		// here [0, 5] since the interior started at 0.
+		row := make([]float64, 12)
+		for y := 1; y < 11; y++ {
+			s.Cur().Read(row, y*12)
+			for x := 1; x < 11; x++ {
+				if row[x] < -1e-12 || row[x] > 5+1e-12 {
+					t.Fatalf("maximum principle violated: %v", row[x])
+				}
+			}
+		}
+	}
+}
+
+func TestStencilDoubleBufferAlternation(t *testing.T) {
+	// Consecutive stencil iterations must dirty different arenas —
+	// the real-code analogue of the workloads' AltShift.
+	sp := space()
+	s, _ := NewStencil2D(sp, 64, 64, 1)
+	dirtyRegions := func() map[*mem.Region]bool {
+		out := map[*mem.Region]bool{}
+		h := sp.SetFaultHandler(func(f mem.Fault) {
+			out[f.Region] = true
+			f.Region.SetProtected(f.Page, false)
+		})
+		_ = h
+		sp.ProtectAllData()
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sp.UnprotectAllData()
+		sp.SetFaultHandler(nil)
+		return out
+	}
+	d1 := dirtyRegions()
+	d2 := dirtyRegions()
+	if d1[s.a.Region()] == d1[s.b.Region()] {
+		t.Fatal("one iteration dirtied both (or neither) buffers")
+	}
+	if d1[s.a.Region()] == d2[s.a.Region()] {
+		t.Fatal("consecutive iterations dirtied the same buffer")
+	}
+}
+
+func TestSSORConverges(t *testing.T) {
+	sp := space()
+	s, err := NewSSOR(sp, 16, 16, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := s.Grid().At(8*16 + 8)
+	if math.Abs(v-4) > 0.01 {
+		t.Fatalf("SSOR interior = %v, want ~4", v)
+	}
+	if s.Iter() != 60 {
+		t.Fatalf("Iter = %d", s.Iter())
+	}
+}
+
+func TestSSORValidation(t *testing.T) {
+	sp := space()
+	if _, err := NewSSOR(sp, 2, 16, 1, 1); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := NewSSOR(sp, 16, 16, 1, 2.5); err == nil {
+		t.Fatal("omega out of range accepted")
+	}
+}
+
+func TestSSORFasterThanJacobi(t *testing.T) {
+	// SSOR with over-relaxation must reach a given accuracy in fewer
+	// iterations than plain Jacobi — the reason LU uses it.
+	target := 4.0
+	jacobiIters := func() int {
+		s, _ := NewStencil2D(space(), 16, 16, target)
+		for i := 1; ; i++ {
+			s.Step()
+			v, _ := s.Cur().At(8*16 + 8)
+			if math.Abs(v-target) < 0.05 {
+				return i
+			}
+			if i > 2000 {
+				return i
+			}
+		}
+	}()
+	ssorIters := func() int {
+		s, _ := NewSSOR(space(), 16, 16, target, 1.5)
+		for i := 1; ; i++ {
+			s.Step()
+			v, _ := s.Grid().At(8*16 + 8)
+			if math.Abs(v-target) < 0.05 {
+				return i
+			}
+			if i > 2000 {
+				return i
+			}
+		}
+	}()
+	if ssorIters >= jacobiIters {
+		t.Fatalf("SSOR (%d iters) not faster than Jacobi (%d)", ssorIters, jacobiIters)
+	}
+}
+
+// wavefrontReference replays the same sweeps on plain Go slices.
+func wavefrontReference(nx, ny, iters int, seed float64) []float64 {
+	v := make([]float64, nx*ny)
+	for x := 0; x < nx; x++ {
+		v[x] = seed
+	}
+	for y := 1; y < ny; y++ {
+		v[y*nx] = seed
+	}
+	sweep := func(ox, oy int) {
+		for i := 1; i < ny; i++ {
+			y := i
+			if oy == 1 {
+				y = ny - 1 - i
+			}
+			py := y - 1
+			if oy == 1 {
+				py = y + 1
+			}
+			for j := 1; j < nx; j++ {
+				x := j
+				if ox == 1 {
+					x = nx - 1 - j
+				}
+				ux := x - 1
+				if ox == 1 {
+					ux = x + 1
+				}
+				v[y*nx+x] = 0.5*v[y*nx+ux] + 0.5*v[py*nx+x] + 0.01
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for _, c := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+			sweep(c[0], c[1])
+		}
+	}
+	return v
+}
+
+func TestWavefrontMatchesReference(t *testing.T) {
+	sp := space()
+	w, err := NewWavefront(sp, 12, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := wavefrontReference(12, 9, 3, 3)
+	got := make([]float64, 12*9)
+	if err := w.Grid().Read(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("cell %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if w.Iter() != 3 {
+		t.Fatalf("Iter = %d", w.Iter())
+	}
+}
+
+func TestADISmoothing(t *testing.T) {
+	sp := space()
+	a, err := NewADI(sp, 12, 12, 9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := a.Grid().Checksum()
+	for i := 0; i < 5; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := a.Grid().Checksum()
+	// The implicit operator damps the solution toward zero (homogeneous
+	// Dirichlet at the implicit boundaries) while keeping it positive
+	// and bounded.
+	if !(after < before) || after <= 0 {
+		t.Fatalf("ADI did not damp: before=%v after=%v", before, after)
+	}
+	if a.Iter() != 5 {
+		t.Fatalf("Iter = %d", a.Iter())
+	}
+}
+
+func TestADIValidation(t *testing.T) {
+	sp := space()
+	if _, err := NewADI(sp, 2, 12, 1, 0.5); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := NewADI(sp, 12, 12, 1, 0); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+}
+
+func TestThomasSolvesTridiagonal(t *testing.T) {
+	// Verify (1+2L)x_i - L x_{i-1} - L x_{i+1} = d reproduces d from a
+	// known x.
+	lambda := 0.7
+	n := 9
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = (1 + 2*lambda) * x[i]
+		if i > 0 {
+			d[i] -= lambda * x[i-1]
+		}
+		if i < n-1 {
+			d[i] -= lambda * x[i+1]
+		}
+	}
+	thomas(d, lambda)
+	for i := range x {
+		if math.Abs(d[i]-x[i]) > 1e-10 {
+			t.Fatalf("thomas: x[%d] = %v, want %v", i, d[i], x[i])
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256} {
+		f, _, err := NewFFTInSpace(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(uint64(n), 5))
+		signal := make([]complex128, n)
+		for i := range signal {
+			signal[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		if err := f.Load(signal); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Transform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NaiveDFT(signal)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %v != %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTValidation(t *testing.T) {
+	if _, _, err := NewFFTInSpace(12); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	f, _, _ := NewFFTInSpace(8)
+	if err := f.Load(make([]complex128, 5)); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+// Property: FFT of a pure tone concentrates all energy in one bin.
+func TestPropertyFFTPureTone(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 128
+		rng := rand.New(rand.NewPCG(seed, 6))
+		bin := rng.IntN(n)
+		signal := make([]complex128, n)
+		for t := range signal {
+			angle := 2 * math.Pi * float64(bin) * float64(t) / float64(n)
+			signal[t] = cmplx.Exp(complex(0, angle))
+		}
+		fft, _, err := NewFFTInSpace(n)
+		if err != nil {
+			return false
+		}
+		if fft.Load(signal) != nil {
+			return false
+		}
+		out, err := fft.Transform()
+		if err != nil {
+			return false
+		}
+		for k := range out {
+			mag := cmplx.Abs(out[k])
+			if k == bin && math.Abs(mag-n) > 1e-6 {
+				return false
+			}
+			if k != bin && mag > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval's theorem holds for random signals.
+func TestPropertyFFTParseval(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 64
+		rng := rand.New(rand.NewPCG(seed, 7))
+		signal := make([]complex128, n)
+		var timeE float64
+		for i := range signal {
+			signal[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			timeE += real(signal[i])*real(signal[i]) + imag(signal[i])*imag(signal[i])
+		}
+		fft, _, _ := NewFFTInSpace(n)
+		fft.Load(signal)
+		out, err := fft.Transform()
+		if err != nil {
+			return false
+		}
+		var freqE float64
+		for _, c := range out {
+			freqE += real(c)*real(c) + imag(c)*imag(c)
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-9*timeE+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStencilStep(b *testing.B) {
+	s, _ := NewStencil2D(space(), 128, 128, 1)
+	b.SetBytes(128 * 128 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT1K(b *testing.B) {
+	f, _, _ := NewFFTInSpace(1024)
+	signal := make([]complex128, 1024)
+	for i := range signal {
+		signal[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Load(signal)
+		if _, err := f.Transform(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

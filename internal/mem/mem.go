@@ -1,0 +1,737 @@
+// Package mem simulates the virtual-memory subsystem the paper's
+// instrumentation library relies on: a paged address space with per-page
+// write protection, synchronous write-fault delivery, and the UNIX data
+// memory areas (initialized data, BSS, heap grown with brk/sbrk, and
+// mmap'ed arenas).
+//
+// The real system write-protects pages with mprotect and receives SIGSEGV
+// on the first write; Go's runtime owns those mechanisms, so this package
+// reproduces the semantics in a library: every write goes through
+// AddressSpace.Write or AddressSpace.WriteRange, which checks the page's
+// protection bit and synchronously invokes the registered fault handler
+// before the write completes — exactly the ordering a SIGSEGV handler sees.
+//
+// Two backing modes are supported. In backed mode each page holds real
+// bytes, so a checkpointer can save and restore genuine contents. In
+// phantom mode pages carry no contents, only protection metadata, which
+// lets full-scale experiments (64 ranks × 1 GB footprints) run in a few
+// megabytes of host memory: the paper's feasibility metrics depend only on
+// which pages are written when, never on the bytes themselves.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// DefaultPageSize is the 16 KB page size of the Itanium II systems used in
+// the paper's evaluation.
+const DefaultPageSize = 16 * 1024
+
+// Kind classifies a mapped region, mirroring the UNIX process areas the
+// paper enumerates in §4.1.
+type Kind uint8
+
+const (
+	// Data is compile-time initialized data.
+	Data Kind = iota
+	// BSS is compile-time allocated, zero-filled data.
+	BSS
+	// Heap is the brk/sbrk-grown dynamic area.
+	Heap
+	// Mmap is a dynamically mapped arena (mmap/munmap).
+	Mmap
+	// Stack is the process stack. It cannot be write-protected: the
+	// fault handler itself needs a writable stack (§4.2).
+	Stack
+)
+
+// String returns the conventional name of the region kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case BSS:
+		return "bss"
+	case Heap:
+		return "heap"
+	case Mmap:
+		return "mmap"
+	case Stack:
+		return "stack"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Checkpointable reports whether regions of this kind belong to the data
+// memory the paper checkpoints (everything except the stack).
+func (k Kind) Checkpointable() bool { return k != Stack }
+
+// Errors returned by address-space operations.
+var (
+	// ErrSegv is returned when a write hits a protected page and the
+	// fault handler leaves the page protected (or none is installed) —
+	// the simulation analogue of an unhandled SIGSEGV.
+	ErrSegv = errors.New("mem: segmentation violation")
+	// ErrUnmapped is returned for accesses outside any live region.
+	ErrUnmapped = errors.New("mem: address not mapped")
+	// ErrBadRange is returned for ranges that cross region boundaries
+	// or otherwise cannot be satisfied.
+	ErrBadRange = errors.New("mem: bad address range")
+)
+
+// Fault describes a write access to a write-protected page, delivered to
+// the fault handler before the write completes.
+type Fault struct {
+	// Addr is the faulting byte address.
+	Addr uint64
+	// Page is the page-aligned base address of the faulting page.
+	Page uint64
+	// Region is the region containing the page.
+	Region *Region
+}
+
+// FaultHandler receives write faults. A handler that wants the write to
+// proceed must unprotect the faulting page (Region.SetProtected(page,
+// false)); if the page is still protected when the handler returns, the
+// write fails with ErrSegv, like a re-raised signal.
+type FaultHandler func(Fault)
+
+// MapHook observes region lifetime. mapped is true when the region was
+// just created and false when it was just unmapped. The paper's
+// instrumentation library intercepts mmap/munmap the same way to keep its
+// view of the footprint current (§4.1).
+type MapHook func(r *Region, mapped bool)
+
+// Config parameterises an AddressSpace.
+type Config struct {
+	// PageSize is the page size in bytes; it must be a power of two.
+	// Zero selects DefaultPageSize.
+	PageSize uint64
+	// Phantom selects metadata-only pages (no contents).
+	Phantom bool
+}
+
+// Layout constants. Addresses are synthetic; only page arithmetic matters.
+const (
+	dataBase  uint64 = 0x0000_4000_0000_0000
+	heapBase  uint64 = 0x0000_6000_0000_0000
+	mmapBase  uint64 = 0x0000_2000_0000_0000
+	stackTop  uint64 = 0x0000_7fff_ffff_0000
+	stackSize uint64 = 64 * 1024 // paper: max observed stack < 42 KB
+)
+
+// Region is a contiguous page-aligned mapping.
+type Region struct {
+	start uint64
+	size  uint64 // bytes, multiple of page size
+	kind  Kind
+
+	space *AddressSpace
+	wp    []uint64 // write-protect bitmap, one bit per page
+	data  [][]byte // per-page contents; nil slices until first backed write
+	dead  bool
+	seq   uint64 // creation sequence, distinguishes remaps at the same address
+}
+
+// Start returns the base address of the region.
+func (r *Region) Start() uint64 { return r.start }
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return r.size }
+
+// End returns one past the last mapped byte.
+func (r *Region) End() uint64 { return r.start + r.size }
+
+// Kind returns the region's classification.
+func (r *Region) Kind() Kind { return r.kind }
+
+// Dead reports whether the region has been unmapped.
+func (r *Region) Dead() bool { return r.dead }
+
+// Seq returns a unique creation sequence number; two regions mapped at the
+// same address at different times have different Seq values.
+func (r *Region) Seq() uint64 { return r.seq }
+
+// Pages returns the number of pages in the region.
+func (r *Region) Pages() uint64 { return r.size / r.space.cfg.PageSize }
+
+// PageIndex converts an address inside the region to a page index.
+func (r *Region) PageIndex(addr uint64) uint64 {
+	return (addr - r.start) / r.space.cfg.PageSize
+}
+
+// PageAddr converts a page index to the page's base address.
+func (r *Region) PageAddr(idx uint64) uint64 {
+	return r.start + idx*r.space.cfg.PageSize
+}
+
+// Protected reports whether the page holding addr is write-protected.
+func (r *Region) Protected(addr uint64) bool {
+	idx := r.PageIndex(addr)
+	return r.wp[idx/64]&(1<<(idx%64)) != 0
+}
+
+// SetProtected sets or clears write protection on the page holding addr.
+func (r *Region) SetProtected(addr uint64, protected bool) {
+	idx := r.PageIndex(addr)
+	if protected {
+		r.wp[idx/64] |= 1 << (idx % 64)
+	} else {
+		r.wp[idx/64] &^= 1 << (idx % 64)
+	}
+}
+
+// ProtectAll sets write protection on every page of the region.
+func (r *Region) ProtectAll() {
+	for i := range r.wp {
+		r.wp[i] = ^uint64(0)
+	}
+	r.trimBitmap()
+}
+
+// UnprotectAll clears write protection on every page of the region.
+func (r *Region) UnprotectAll() {
+	for i := range r.wp {
+		r.wp[i] = 0
+	}
+}
+
+// trimBitmap clears bits beyond the last page so popcounts stay exact.
+func (r *Region) trimBitmap() {
+	n := r.Pages()
+	if rem := n % 64; rem != 0 && len(r.wp) > 0 {
+		r.wp[len(r.wp)-1] &= (1 << rem) - 1
+	}
+}
+
+// ProtectedPages returns the number of currently protected pages.
+func (r *Region) ProtectedPages() uint64 {
+	var n uint64
+	for _, w := range r.wp {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// PeekPage returns the contents of the page at the given index without
+// materialising it: nil means the page was never written (all zero).
+// It panics in phantom mode.
+func (r *Region) PeekPage(idx uint64) []byte {
+	if r.space.cfg.Phantom {
+		panic("mem: PeekPage on phantom address space")
+	}
+	return r.data[idx]
+}
+
+// LoadPage overwrites the page at the given index with data (len must be
+// one page), bypassing protection and fault delivery — the restore path,
+// which operates below any tracker. It panics in phantom mode.
+func (r *Region) LoadPage(idx uint64, data []byte) {
+	if r.space.cfg.Phantom {
+		panic("mem: LoadPage on phantom address space")
+	}
+	if uint64(len(data)) != r.space.cfg.PageSize {
+		panic(fmt.Sprintf("mem: LoadPage with %d bytes, want one page (%d)", len(data), r.space.cfg.PageSize))
+	}
+	if r.data[idx] == nil {
+		r.data[idx] = make([]byte, r.space.cfg.PageSize)
+	}
+	copy(r.data[idx], data)
+}
+
+// PageData returns the contents of the page holding addr, materialising a
+// zero page on first access. It panics in phantom mode, where pages have
+// no contents by construction.
+func (r *Region) PageData(addr uint64) []byte {
+	if r.space.cfg.Phantom {
+		panic("mem: PageData on phantom address space")
+	}
+	idx := r.PageIndex(addr)
+	if r.data[idx] == nil {
+		r.data[idx] = make([]byte, r.space.cfg.PageSize)
+	}
+	return r.data[idx]
+}
+
+// AddressSpace is a simulated process address space.
+type AddressSpace struct {
+	cfg     Config
+	regions []*Region // live regions, sorted by start
+	heap    *Region
+	stack   *Region
+	handler FaultHandler
+	mapHook MapHook
+
+	mmapNext uint64
+	mmapFree []span // reusable gaps from unmapped arenas
+	seq      uint64
+	lastHit  *Region // single-entry lookup cache
+
+	faults     uint64 // total write faults delivered
+	writeSeq   byte   // rolling fill value for backed WriteRange
+	writeBytes uint64 // total bytes written (logical, not page-rounded)
+}
+
+type span struct{ start, size uint64 }
+
+// NewAddressSpace creates an empty address space with a stack region
+// already mapped (the stack exists from process start and is never
+// write-protected).
+func NewAddressSpace(cfg Config) *AddressSpace {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: page size %d is not a power of two", cfg.PageSize))
+	}
+	s := &AddressSpace{cfg: cfg, mmapNext: mmapBase}
+	s.stack = s.insert(stackTop-stackSize, stackSize, Stack)
+	return s
+}
+
+// Config returns the configuration the space was created with.
+func (s *AddressSpace) Config() Config { return s.cfg }
+
+// PageSize returns the page size in bytes.
+func (s *AddressSpace) PageSize() uint64 { return s.cfg.PageSize }
+
+// Phantom reports whether pages are metadata-only.
+func (s *AddressSpace) Phantom() bool { return s.cfg.Phantom }
+
+// Faults returns the total number of write faults delivered so far.
+func (s *AddressSpace) Faults() uint64 { return s.faults }
+
+// WrittenBytes returns the total number of bytes logically written (the
+// sum of Write/WriteRange lengths, not page-rounded).
+func (s *AddressSpace) WrittenBytes() uint64 { return s.writeBytes }
+
+// SetFaultHandler installs h as the write-fault handler, returning the
+// previous handler (nil if none).
+func (s *AddressSpace) SetFaultHandler(h FaultHandler) FaultHandler {
+	old := s.handler
+	s.handler = h
+	return old
+}
+
+// SetMapHook installs h to observe region map/unmap events, returning the
+// previous hook.
+func (s *AddressSpace) SetMapHook(h MapHook) MapHook {
+	old := s.mapHook
+	s.mapHook = h
+	return old
+}
+
+func (s *AddressSpace) roundUp(n uint64) uint64 {
+	ps := s.cfg.PageSize
+	return (n + ps - 1) &^ (ps - 1)
+}
+
+// insert creates a region and splices it into the sorted live list.
+func (s *AddressSpace) insert(start, size uint64, kind Kind) *Region {
+	r := &Region{start: start, size: size, kind: kind, space: s, seq: s.seq}
+	s.seq++
+	nPages := size / s.cfg.PageSize
+	r.wp = make([]uint64, (nPages+63)/64)
+	if !s.cfg.Phantom {
+		r.data = make([][]byte, nPages)
+	}
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].start >= start })
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+	return r
+}
+
+func (s *AddressSpace) remove(r *Region) {
+	for i, q := range s.regions {
+		if q == r {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			break
+		}
+	}
+	r.dead = true
+	if s.lastHit == r {
+		s.lastHit = nil
+	}
+}
+
+// MapData maps the initialized-data region. It may be called once.
+func (s *AddressSpace) MapData(size uint64) *Region { return s.mapStatic(dataBase, size, Data) }
+
+// MapBSS maps the zero-filled BSS region directly above the data region.
+func (s *AddressSpace) MapBSS(size uint64) *Region {
+	base := dataBase
+	if r := s.findKind(Data); r != nil {
+		base = r.End()
+	}
+	return s.mapStatic(base, size, BSS)
+}
+
+func (s *AddressSpace) mapStatic(base, size uint64, kind Kind) *Region {
+	if r := s.findKind(kind); r != nil {
+		panic(fmt.Sprintf("mem: %v region already mapped", kind))
+	}
+	size = s.roundUp(size)
+	r := s.insert(base, size, kind)
+	if s.mapHook != nil {
+		s.mapHook(r, true)
+	}
+	return r
+}
+
+func (s *AddressSpace) findKind(kind Kind) *Region {
+	for _, r := range s.regions {
+		if r.kind == kind {
+			return r
+		}
+	}
+	return nil
+}
+
+// Heap returns the heap region, or nil before the first Sbrk growth.
+func (s *AddressSpace) Heap() *Region { return s.heap }
+
+// Stack returns the stack region.
+func (s *AddressSpace) Stack() *Region { return s.stack }
+
+// Brk returns the current heap break (heapBase when the heap is empty).
+func (s *AddressSpace) Brk() uint64 {
+	if s.heap == nil {
+		return heapBase
+	}
+	return s.heap.End()
+}
+
+// Sbrk grows (delta > 0) or shrinks (delta < 0) the heap by delta bytes,
+// page-rounded, returning the previous break. Shrinking below the heap
+// base or growing by a non-representable amount returns an error.
+// Growth preserves existing page protection and contents; new pages start
+// unprotected and zero-filled, matching kernel brk semantics.
+func (s *AddressSpace) Sbrk(delta int64) (uint64, error) {
+	old := s.Brk()
+	if delta == 0 {
+		return old, nil
+	}
+	if delta > 0 {
+		grow := s.roundUp(uint64(delta))
+		if s.heap == nil {
+			s.heap = s.insert(heapBase, grow, Heap)
+			if s.mapHook != nil {
+				s.mapHook(s.heap, true)
+			}
+			return old, nil
+		}
+		r := s.heap
+		oldPages := r.Pages()
+		r.size += grow
+		newPages := r.Pages()
+		wpLen := (newPages + 63) / 64
+		for uint64(len(r.wp)) < wpLen {
+			r.wp = append(r.wp, 0)
+		}
+		if !s.cfg.Phantom {
+			r.data = append(r.data, make([][]byte, newPages-oldPages)...)
+		}
+		return old, nil
+	}
+	shrink := s.roundUp(uint64(-delta))
+	if s.heap == nil || shrink > s.heap.size {
+		return old, fmt.Errorf("%w: sbrk(%d) below heap base", ErrBadRange, delta)
+	}
+	r := s.heap
+	r.size -= shrink
+	newPages := r.Pages()
+	r.wp = r.wp[:(newPages+63)/64]
+	r.trimBitmap()
+	if !s.cfg.Phantom {
+		r.data = r.data[:newPages]
+	}
+	if r.size == 0 {
+		s.remove(r)
+		s.heap = nil
+		if s.mapHook != nil {
+			s.mapHook(r, false)
+		}
+	}
+	return old, nil
+}
+
+// Mmap maps a new anonymous arena of at least size bytes (page-rounded)
+// and returns its region. Freed arena slots are reused first-fit, so a
+// workload that repeatedly frees and reallocates same-sized arenas — as
+// Sage's Fortran90 allocator does — observes remapping at recycled
+// addresses.
+func (s *AddressSpace) Mmap(size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("%w: mmap of zero bytes", ErrBadRange)
+	}
+	size = s.roundUp(size)
+	start := uint64(0)
+	for i, f := range s.mmapFree {
+		if f.size >= size {
+			start = f.start
+			if f.size == size {
+				s.mmapFree = append(s.mmapFree[:i], s.mmapFree[i+1:]...)
+			} else {
+				s.mmapFree[i] = span{f.start + size, f.size - size}
+			}
+			break
+		}
+	}
+	if start == 0 {
+		start = s.mmapNext
+		s.mmapNext += size
+	}
+	r := s.insert(start, size, Mmap)
+	if s.mapHook != nil {
+		s.mapHook(r, true)
+	}
+	return r, nil
+}
+
+// Munmap unmaps an arena previously returned by Mmap. The pages cease to
+// exist: their protection state and contents are discarded, which is what
+// enables the paper's memory-exclusion optimisation (§4.2).
+func (s *AddressSpace) Munmap(r *Region) error {
+	if r == nil || r.dead || r.kind != Mmap || r.space != s {
+		return fmt.Errorf("%w: munmap of invalid region", ErrBadRange)
+	}
+	s.remove(r)
+	s.mmapFree = append(s.mmapFree, span{r.start, r.size})
+	if s.mapHook != nil {
+		s.mapHook(r, false)
+	}
+	return nil
+}
+
+// MapAt maps a region of the given kind at an explicit address — the
+// restore path, which must recreate regions at their original addresses.
+// start must be page-aligned and the range must not overlap any live
+// region. Mapping Heap or Stack this way updates the corresponding
+// shortcut so subsequent Sbrk/Stack calls behave normally.
+func (s *AddressSpace) MapAt(start, size uint64, kind Kind) (*Region, error) {
+	ps := s.cfg.PageSize
+	if start%ps != 0 || size == 0 {
+		return nil, fmt.Errorf("%w: MapAt(%#x, %d)", ErrBadRange, start, size)
+	}
+	size = s.roundUp(size)
+	for _, r := range s.regions {
+		if start < r.End() && r.start < start+size {
+			return nil, fmt.Errorf("%w: MapAt overlaps %v region at %#x", ErrBadRange, r.kind, r.start)
+		}
+	}
+	r := s.insert(start, size, kind)
+	switch kind {
+	case Heap:
+		s.heap = r
+	case Stack:
+		s.stack = r
+	case Mmap:
+		if start+size > s.mmapNext {
+			s.mmapNext = start + size
+		}
+	}
+	if s.mapHook != nil {
+		s.mapHook(r, true)
+	}
+	return r, nil
+}
+
+// Find returns the live region containing addr, or nil.
+func (s *AddressSpace) Find(addr uint64) *Region {
+	if h := s.lastHit; h != nil && !h.dead && addr >= h.start && addr < h.End() {
+		return h
+	}
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	if i < len(s.regions) && addr >= s.regions[i].start {
+		s.lastHit = s.regions[i]
+		return s.regions[i]
+	}
+	return nil
+}
+
+// Regions returns the live regions in address order. The returned slice
+// is a copy; the regions themselves are shared.
+func (s *AddressSpace) Regions() []*Region {
+	out := make([]*Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
+
+// Footprint returns the total mapped bytes of checkpointable (non-stack)
+// regions — the paper's "memory footprint".
+func (s *AddressSpace) Footprint() uint64 {
+	var n uint64
+	for _, r := range s.regions {
+		if r.kind.Checkpointable() {
+			n += r.size
+		}
+	}
+	return n
+}
+
+// ProtectAllData write-protects every page of every checkpointable region.
+// This is the alarm handler's re-protection step. It returns the number of
+// pages protected, which drives the intrusiveness model.
+func (s *AddressSpace) ProtectAllData() uint64 {
+	var n uint64
+	for _, r := range s.regions {
+		if r.kind.Checkpointable() {
+			r.ProtectAll()
+			n += r.Pages()
+		}
+	}
+	return n
+}
+
+// UnprotectAllData clears write protection everywhere (detaching a tracker).
+func (s *AddressSpace) UnprotectAllData() {
+	for _, r := range s.regions {
+		r.UnprotectAll()
+	}
+}
+
+// fault delivers a write fault for the page containing addr and reports
+// whether the write may proceed.
+func (s *AddressSpace) fault(r *Region, addr uint64) error {
+	s.faults++
+	if s.handler != nil {
+		page := addr &^ (s.cfg.PageSize - 1)
+		s.handler(Fault{Addr: addr, Page: page, Region: r})
+	}
+	if r.Protected(addr) {
+		return fmt.Errorf("%w: write to %#x", ErrSegv, addr)
+	}
+	return nil
+}
+
+// checkRange locates the region wholly containing [addr, addr+n) or fails.
+func (s *AddressSpace) checkRange(addr, n uint64) (*Region, error) {
+	r := s.Find(addr)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+	}
+	if addr+n > r.End() {
+		return nil, fmt.Errorf("%w: [%#x,%#x) crosses region end %#x", ErrBadRange, addr, addr+n, r.End())
+	}
+	return r, nil
+}
+
+// Write stores data at addr, faulting on protected pages first. In
+// phantom mode the bytes are discarded but protection checks, fault
+// delivery and accounting behave identically.
+func (s *AddressSpace) Write(addr uint64, data []byte) error {
+	n := uint64(len(data))
+	if n == 0 {
+		return nil
+	}
+	r, err := s.checkRange(addr, n)
+	if err != nil {
+		return err
+	}
+	ps := s.cfg.PageSize
+	for off := uint64(0); off < n; {
+		pageEnd := (addr + off + ps) &^ (ps - 1)
+		chunk := min(n-off, pageEnd-(addr+off))
+		if r.Protected(addr + off) {
+			if err := s.fault(r, addr+off); err != nil {
+				return err
+			}
+		}
+		if !s.cfg.Phantom {
+			pd := r.PageData(addr + off)
+			po := (addr + off) & (ps - 1)
+			copy(pd[po:po+chunk], data[off:off+chunk])
+		}
+		off += chunk
+	}
+	s.writeBytes += n
+	return nil
+}
+
+// Read copies memory at addr into buf. Reads never fault: the paper
+// tracks write accesses only. Reading in phantom mode zero-fills.
+func (s *AddressSpace) Read(addr uint64, buf []byte) error {
+	n := uint64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	r, err := s.checkRange(addr, n)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Phantom {
+		clear(buf)
+		return nil
+	}
+	ps := s.cfg.PageSize
+	for off := uint64(0); off < n; {
+		pageEnd := (addr + off + ps) &^ (ps - 1)
+		chunk := min(n-off, pageEnd-(addr+off))
+		idx := r.PageIndex(addr + off)
+		po := (addr + off) & (ps - 1)
+		if pd := r.data[idx]; pd != nil {
+			copy(buf[off:off+chunk], pd[po:po+chunk])
+		} else {
+			clear(buf[off : off+chunk])
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// WriteRange marks the whole byte range [addr, addr+n) as written,
+// faulting on each protected page it touches, without supplying contents.
+// It is the bulk path used by synthetic workloads sweeping large extents:
+// cost is O(pages touched), and pages already unprotected are skipped a
+// bitmap word (64 pages) at a time. In backed mode the range is filled
+// with a rolling per-call byte value so contents remain deterministic.
+func (s *AddressSpace) WriteRange(addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	r, err := s.checkRange(addr, n)
+	if err != nil {
+		return err
+	}
+	ps := s.cfg.PageSize
+	first := r.PageIndex(addr)
+	last := r.PageIndex(addr + n - 1)
+	for idx := first; idx <= last; {
+		w := r.wp[idx/64] >> (idx % 64)
+		if w == 0 {
+			// Whole remainder of this bitmap word is unprotected.
+			idx = (idx/64 + 1) * 64
+			continue
+		}
+		skip := uint64(bits.TrailingZeros64(w))
+		if skip > 0 {
+			idx += skip
+			continue
+		}
+		pa := r.PageAddr(idx)
+		if err := s.fault(r, max(pa, addr)); err != nil {
+			return err
+		}
+		idx++
+	}
+	if !s.cfg.Phantom {
+		s.writeSeq++
+		v := s.writeSeq
+		for off := uint64(0); off < n; {
+			pageEnd := (addr + off + ps) &^ (ps - 1)
+			chunk := min(n-off, pageEnd-(addr+off))
+			pd := r.PageData(addr + off)
+			po := (addr + off) & (ps - 1)
+			for i := uint64(0); i < chunk; i++ {
+				pd[po+i] = v
+			}
+			off += chunk
+		}
+	}
+	s.writeBytes += n
+	return nil
+}

@@ -1,0 +1,617 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newBacked(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(Config{PageSize: 4096})
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{Data: "data", BSS: "bss", Heap: "heap", Mmap: "mmap", Stack: "stack"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !Data.Checkpointable() || Stack.Checkpointable() {
+		t.Error("Checkpointable: data must be, stack must not be")
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two page size did not panic")
+		}
+	}()
+	NewAddressSpace(Config{PageSize: 3000})
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := NewAddressSpace(Config{})
+	if s.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d, want %d", s.PageSize(), DefaultPageSize)
+	}
+}
+
+func TestMapDataAndBSS(t *testing.T) {
+	s := newBacked(t)
+	d := s.MapData(10000) // rounds to 3 pages
+	if d.Size() != 12288 || d.Kind() != Data {
+		t.Fatalf("data region: size=%d kind=%v", d.Size(), d.Kind())
+	}
+	b := s.MapBSS(4096)
+	if b.Start() != d.End() {
+		t.Fatalf("bss start %#x, want %#x (end of data)", b.Start(), d.End())
+	}
+	if got := s.Footprint(); got != 12288+4096 {
+		t.Fatalf("Footprint = %d", got)
+	}
+}
+
+func TestDoubleMapDataPanics(t *testing.T) {
+	s := newBacked(t)
+	s.MapData(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double MapData did not panic")
+		}
+	}()
+	s.MapData(4096)
+}
+
+func TestStackNotInFootprint(t *testing.T) {
+	s := newBacked(t)
+	if s.Footprint() != 0 {
+		t.Fatalf("empty space footprint = %d, want 0 (stack excluded)", s.Footprint())
+	}
+	if s.Stack() == nil || s.Stack().Kind() != Stack {
+		t.Fatal("stack region missing")
+	}
+}
+
+func TestSbrkGrowShrink(t *testing.T) {
+	s := newBacked(t)
+	base := s.Brk()
+	old, err := s.Sbrk(10000)
+	if err != nil || old != base {
+		t.Fatalf("Sbrk grow: old=%#x err=%v", old, err)
+	}
+	if s.Heap() == nil || s.Heap().Size() != 12288 {
+		t.Fatalf("heap size = %d, want 12288", s.Heap().Size())
+	}
+	// Write into the new heap, then grow again; contents must survive.
+	addr := s.Heap().Start()
+	if err := s.Write(addr, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sbrk(4096); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if err := s.Read(addr, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("heap contents after grow: %q err=%v", buf, err)
+	}
+	// Shrink back to one page.
+	if _, err := s.Sbrk(-12288); err != nil {
+		t.Fatal(err)
+	}
+	if s.Heap().Size() != 4096 {
+		t.Fatalf("heap size after shrink = %d", s.Heap().Size())
+	}
+	// Shrinking below base fails.
+	if _, err := s.Sbrk(-8192); err == nil {
+		t.Fatal("over-shrink succeeded")
+	}
+	// Shrink to exactly zero unmaps the heap.
+	if _, err := s.Sbrk(-4096); err != nil {
+		t.Fatal(err)
+	}
+	if s.Heap() != nil {
+		t.Fatal("heap not unmapped at zero size")
+	}
+	if s.Brk() != base {
+		t.Fatalf("brk after full shrink = %#x, want %#x", s.Brk(), base)
+	}
+}
+
+func TestSbrkZero(t *testing.T) {
+	s := newBacked(t)
+	if _, err := s.Sbrk(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Heap() != nil {
+		t.Fatal("Sbrk(0) created a heap")
+	}
+}
+
+func TestMmapMunmapReuse(t *testing.T) {
+	s := newBacked(t)
+	a, err := s.Mmap(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Mmap(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End() > b.Start() && b.End() > a.Start() {
+		t.Fatal("mmap regions overlap")
+	}
+	aStart := a.Start()
+	if err := s.Munmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Dead() {
+		t.Fatal("region not marked dead")
+	}
+	c, err := s.Mmap(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Start() != aStart {
+		t.Fatalf("freed slot not reused: got %#x, want %#x", c.Start(), aStart)
+	}
+	if c.Seq() == a.Seq() {
+		t.Fatal("recycled region shares Seq with its predecessor")
+	}
+	if err := s.Munmap(a); err == nil {
+		t.Fatal("double munmap succeeded")
+	}
+	if err := s.Munmap(nil); err == nil {
+		t.Fatal("munmap(nil) succeeded")
+	}
+}
+
+func TestMmapZeroFails(t *testing.T) {
+	s := newBacked(t)
+	if _, err := s.Mmap(0); err == nil {
+		t.Fatal("mmap(0) succeeded")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(3 * 4096)
+	// Write crossing two page boundaries.
+	data := make([]byte, 6000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := r.Start() + 2000
+	if err := s.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6000)
+	if err := s.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Untouched pages read as zero.
+	zero := make([]byte, 100)
+	if err := s.Read(r.Start()+9000, zero); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("untouched page not zero-filled")
+		}
+	}
+}
+
+func TestWriteUnmappedAndCrossRegion(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(4096)
+	if err := s.Write(0xdead0000, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped write: %v", err)
+	}
+	if err := s.Write(r.End()-2, []byte{1, 2, 3, 4}); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("cross-boundary write: %v", err)
+	}
+	if err := s.Read(0xdead0000, []byte{0}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped read: %v", err)
+	}
+	if err := s.Write(r.Start(), nil); err != nil {
+		t.Fatalf("empty write: %v", err)
+	}
+}
+
+func TestProtectionFaultDelivery(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(4 * 4096)
+	var faults []Fault
+	s.SetFaultHandler(func(f Fault) {
+		faults = append(faults, f)
+		f.Region.SetProtected(f.Page, false) // first-touch unprotect
+	})
+	r.ProtectAll()
+	if got := r.ProtectedPages(); got != 4 {
+		t.Fatalf("ProtectedPages = %d, want 4", got)
+	}
+	// First write faults once per page.
+	if err := s.Write(r.Start()+100, make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("faults = %d, want 2 (write spans 2 pages)", len(faults))
+	}
+	if faults[0].Addr != r.Start()+100 || faults[0].Page != r.Start() {
+		t.Fatalf("fault[0] = %+v", faults[0])
+	}
+	// Rewrite of the same pages: no more faults.
+	if err := s.Write(r.Start()+100, make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("rewrite faulted again: %d", len(faults))
+	}
+	if s.Faults() != 2 {
+		t.Fatalf("Faults() = %d", s.Faults())
+	}
+}
+
+func TestSegvWhenHandlerLeavesProtected(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(4096)
+	s.SetFaultHandler(func(Fault) {}) // does not unprotect
+	r.ProtectAll()
+	if err := s.Write(r.Start(), []byte{1}); !errors.Is(err, ErrSegv) {
+		t.Fatalf("want ErrSegv, got %v", err)
+	}
+}
+
+func TestSegvWithoutHandler(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(4096)
+	r.ProtectAll()
+	if err := s.Write(r.Start(), []byte{1}); !errors.Is(err, ErrSegv) {
+		t.Fatalf("want ErrSegv, got %v", err)
+	}
+	if err := s.WriteRange(r.Start(), 10); !errors.Is(err, ErrSegv) {
+		t.Fatalf("WriteRange: want ErrSegv, got %v", err)
+	}
+}
+
+func TestReadNeverFaults(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(4096)
+	s.SetFaultHandler(func(Fault) { t.Fatal("read delivered a fault") })
+	r.ProtectAll()
+	if err := s.Read(r.Start(), make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRangeFaultPerPage(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+	r, _ := s.Mmap(1000 * 4096)
+	var n int
+	s.SetFaultHandler(func(f Fault) {
+		n++
+		f.Region.SetProtected(f.Page, false)
+	})
+	r.ProtectAll()
+	if err := s.WriteRange(r.Start(), 1000*4096); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("faults = %d, want 1000", n)
+	}
+	// Second sweep over unprotected pages: zero faults, fast path.
+	if err := s.WriteRange(r.Start(), 1000*4096); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("fast path faulted: %d", n)
+	}
+	if s.WrittenBytes() != 2*1000*4096 {
+		t.Fatalf("WrittenBytes = %d", s.WrittenBytes())
+	}
+}
+
+func TestWriteRangePartialPages(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+	r, _ := s.Mmap(16 * 4096)
+	var pages []uint64
+	s.SetFaultHandler(func(f Fault) {
+		pages = append(pages, f.Region.PageIndex(f.Page))
+		f.Region.SetProtected(f.Page, false)
+	})
+	r.ProtectAll()
+	// Touch bytes [4000, 4100): spans pages 0 and 1 only.
+	if err := s.WriteRange(r.Start()+4000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || pages[0] != 0 {
+		// 4000..4100 crosses into page 1 at offset 4096.
+		if len(pages) != 2 || pages[0] != 0 || pages[1] != 1 {
+			t.Fatalf("pages touched: %v", pages)
+		}
+	}
+}
+
+func TestWriteRangeBackedFill(t *testing.T) {
+	s := newBacked(t)
+	r, _ := s.Mmap(2 * 4096)
+	if err := s.WriteRange(r.Start(), 8192); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, 8192)
+	if err := s.Read(r.Start(), a); err != nil {
+		t.Fatal(err)
+	}
+	first := a[0]
+	for _, b := range a {
+		if b != first {
+			t.Fatal("WriteRange fill not uniform")
+		}
+	}
+	if err := s.WriteRange(r.Start(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	s.Read(r.Start(), b)
+	if b[0] == first {
+		t.Fatal("second WriteRange used the same fill value")
+	}
+}
+
+func TestProtectAllData(t *testing.T) {
+	s := newBacked(t)
+	s.MapData(4096)
+	s.Sbrk(8192)
+	m, _ := s.Mmap(4096)
+	n := s.ProtectAllData()
+	if n != 1+2+1 {
+		t.Fatalf("ProtectAllData = %d pages, want 4", n)
+	}
+	if !m.Protected(m.Start()) {
+		t.Fatal("mmap page not protected")
+	}
+	if s.Stack().ProtectedPages() != 0 {
+		t.Fatal("stack was protected — the paper's library cannot protect the stack")
+	}
+	s.UnprotectAllData()
+	if m.ProtectedPages() != 0 {
+		t.Fatal("UnprotectAllData left pages protected")
+	}
+}
+
+func TestMapHook(t *testing.T) {
+	s := newBacked(t)
+	type ev struct {
+		kind   Kind
+		mapped bool
+	}
+	var evs []ev
+	s.SetMapHook(func(r *Region, mapped bool) { evs = append(evs, ev{r.Kind(), mapped}) })
+	s.MapData(4096)
+	r, _ := s.Mmap(4096)
+	s.Sbrk(4096)
+	s.Munmap(r)
+	s.Sbrk(-4096)
+	want := []ev{{Data, true}, {Mmap, true}, {Heap, true}, {Mmap, false}, {Heap, false}}
+	if len(evs) != len(want) {
+		t.Fatalf("hook events: %+v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("hook event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestFindCache(t *testing.T) {
+	s := newBacked(t)
+	a, _ := s.Mmap(4096)
+	b, _ := s.Mmap(4096)
+	if s.Find(a.Start()) != a || s.Find(b.Start()) != b || s.Find(a.Start()) != a {
+		t.Fatal("Find returned wrong region")
+	}
+	s.Munmap(a)
+	if s.Find(a.Start()) == a {
+		t.Fatal("Find returned dead region via cache")
+	}
+}
+
+func TestPhantomPageDataPanics(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+	r, _ := s.Mmap(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PageData on phantom space did not panic")
+		}
+	}()
+	r.PageData(r.Start())
+}
+
+func TestPhantomReadZeroFills(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+	r, _ := s.Mmap(4096)
+	if err := s.Write(r.Start(), []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{1, 1}
+	if err := s.Read(r.Start(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Fatal("phantom read did not zero-fill")
+	}
+}
+
+// Property: after protecting all and writing a random set of ranges with a
+// first-touch-unprotect handler, the set of unprotected pages equals
+// exactly the union of pages covered by the ranges.
+func TestPropertyDirtyPagesMatchWrites(t *testing.T) {
+	const pageSize = 4096
+	f := func(seed uint64, nWrites uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		s := NewAddressSpace(Config{PageSize: pageSize, Phantom: true})
+		const pages = 256
+		r, _ := s.Mmap(pages * pageSize)
+		s.SetFaultHandler(func(f Fault) { f.Region.SetProtected(f.Page, false) })
+		r.ProtectAll()
+		want := make(map[uint64]bool)
+		for i := 0; i < int(nWrites%40)+1; i++ {
+			start := uint64(rng.IntN(pages * pageSize))
+			n := uint64(rng.IntN(8*pageSize) + 1)
+			if start+n > pages*pageSize {
+				n = pages*pageSize - start
+			}
+			if n == 0 {
+				continue
+			}
+			if err := s.WriteRange(r.Start()+start, n); err != nil {
+				return false
+			}
+			for p := start / pageSize; p <= (start+n-1)/pageSize; p++ {
+				want[p] = true
+			}
+		}
+		for p := uint64(0); p < pages; p++ {
+			unprot := !r.Protected(r.PageAddr(p))
+			if unprot != want[p] {
+				return false
+			}
+		}
+		return uint64(len(want)) == pages-r.ProtectedPages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random mmap/munmap/sbrk sequences keep regions disjoint,
+// sorted, and footprint equal to the sum of live checkpointable sizes.
+func TestPropertyRegionInvariants(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+		var arenas []*Region
+		var want uint64
+		heapSize := int64(0)
+		for i := 0; i < int(nOps); i++ {
+			switch rng.IntN(4) {
+			case 0:
+				sz := uint64(rng.IntN(64)+1) * 4096
+				r, err := s.Mmap(sz)
+				if err != nil {
+					return false
+				}
+				arenas = append(arenas, r)
+				want += sz
+			case 1:
+				if len(arenas) > 0 {
+					i := rng.IntN(len(arenas))
+					want -= arenas[i].Size()
+					if s.Munmap(arenas[i]) != nil {
+						return false
+					}
+					arenas = append(arenas[:i], arenas[i+1:]...)
+				}
+			case 2:
+				d := int64(rng.IntN(16)+1) * 4096
+				s.Sbrk(d)
+				heapSize += d
+				want += uint64(d)
+			case 3:
+				if heapSize >= 4096 {
+					d := int64(rng.IntN(int(heapSize/4096))+1) * 4096
+					s.Sbrk(-d)
+					heapSize -= d
+					want -= uint64(d)
+				}
+			}
+		}
+		if s.Footprint() != want {
+			return false
+		}
+		regs := s.Regions()
+		for i := 1; i < len(regs); i++ {
+			if regs[i-1].End() > regs[i].Start() {
+				return false // overlap or out of order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: backed Write/Read round-trips arbitrary data at arbitrary
+// offsets.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(data []byte, off uint16) bool {
+		s := NewAddressSpace(Config{PageSize: 4096})
+		r, _ := s.Mmap(64 * 4096)
+		addr := r.Start() + uint64(off)
+		if uint64(off)+uint64(len(data)) > r.Size() {
+			return true // out of scope
+		}
+		if err := s.Write(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := s.Read(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteRangeColdSweep(b *testing.B) {
+	s := NewAddressSpace(Config{Phantom: true})
+	r, _ := s.Mmap(64 * 1024 * 1024)
+	s.SetFaultHandler(func(f Fault) { f.Region.SetProtected(f.Page, false) })
+	b.SetBytes(64 * 1024 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProtectAll()
+		if err := s.WriteRange(r.Start(), r.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteRangeHotSweep(b *testing.B) {
+	s := NewAddressSpace(Config{Phantom: true})
+	r, _ := s.Mmap(64 * 1024 * 1024)
+	s.SetFaultHandler(func(f Fault) { f.Region.SetProtected(f.Page, false) })
+	s.WriteRange(r.Start(), r.Size())
+	b.SetBytes(64 * 1024 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteRange(r.Start(), r.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackedWrite(b *testing.B) {
+	s := NewAddressSpace(Config{})
+	r, _ := s.Mmap(1024 * 1024)
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(r.Start(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMapAt(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	r, err := s.MapAt(0x10000, 3*4096, Mmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start() != 0x10000 || r.Size() != 3*4096 || r.Kind() != Mmap {
+		t.Fatalf("region: %#x %d %v", r.Start(), r.Size(), r.Kind())
+	}
+	if s.Find(0x10000) != r {
+		t.Fatal("MapAt region not findable")
+	}
+	// Size rounds up to pages.
+	r2, err := s.MapAt(0x40000, 100, Data)
+	if err != nil || r2.Size() != 4096 {
+		t.Fatalf("rounding: %v %d", err, r2.Size())
+	}
+}
+
+func TestMapAtValidation(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	if _, err := s.MapAt(0x10001, 4096, Mmap); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("unaligned MapAt: %v", err)
+	}
+	if _, err := s.MapAt(0x10000, 0, Mmap); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("zero-size MapAt: %v", err)
+	}
+	s.MapAt(0x10000, 4*4096, Mmap)
+	// Overlap in every configuration must fail.
+	for _, start := range []uint64{0x10000, 0x11000, 0xf000, 0x13000} {
+		if _, err := s.MapAt(start, 2*4096, Mmap); err == nil {
+			t.Errorf("overlapping MapAt at %#x accepted", start)
+		}
+	}
+	// Adjacent (non-overlapping) is fine.
+	if _, err := s.MapAt(0x14000, 4096, Mmap); err != nil {
+		t.Fatalf("adjacent MapAt rejected: %v", err)
+	}
+}
+
+func TestMapAtHeapRestoresSbrk(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	heapBase := s.Brk()
+	r, err := s.MapAt(heapBase, 2*4096, Heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Heap() != r {
+		t.Fatal("heap shortcut not restored")
+	}
+	// Sbrk continues from the restored break.
+	old, err := s.Sbrk(4096)
+	if err != nil || old != heapBase+2*4096 {
+		t.Fatalf("sbrk after restore: %#x %v", old, err)
+	}
+	if s.Heap().Size() != 3*4096 {
+		t.Fatalf("heap size = %d", s.Heap().Size())
+	}
+}
+
+func TestMapAtMmapAdvancesAllocator(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	// Restore an mmap region, then a fresh Mmap must not collide.
+	a, _ := s.Mmap(4096)
+	hi := a.End() + 16*4096
+	if _, err := s.MapAt(hi, 4096, Mmap); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Mmap(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start() >= hi && b.Start() < hi+4096 {
+		t.Fatal("fresh mmap collided with restored region")
+	}
+}
+
+func TestPeekAndLoadPage(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	r, _ := s.Mmap(2 * 4096)
+	if r.PeekPage(0) != nil {
+		t.Fatal("untouched page not nil")
+	}
+	s.Write(r.Start(), []byte{1, 2, 3})
+	pd := r.PeekPage(0)
+	if pd == nil || pd[0] != 1 || pd[2] != 3 {
+		t.Fatalf("PeekPage: %v", pd[:4])
+	}
+	// LoadPage bypasses protection and faults.
+	r.ProtectAll()
+	s.SetFaultHandler(func(Fault) { t.Fatal("LoadPage delivered a fault") })
+	data := bytes.Repeat([]byte{9}, 4096)
+	r.LoadPage(1, data)
+	if !r.Protected(r.PageAddr(1)) {
+		t.Fatal("LoadPage changed protection")
+	}
+	got := r.PeekPage(1)
+	if !bytes.Equal(got, data) {
+		t.Fatal("LoadPage contents")
+	}
+	s.SetFaultHandler(nil)
+}
+
+func TestLoadPageValidation(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096})
+	r, _ := s.Mmap(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short LoadPage did not panic")
+		}
+	}()
+	r.LoadPage(0, []byte{1, 2})
+}
+
+func TestPhantomPeekLoadPanic(t *testing.T) {
+	s := NewAddressSpace(Config{PageSize: 4096, Phantom: true})
+	r, _ := s.Mmap(4096)
+	for name, fn := range map[string]func(){
+		"PeekPage": func() { r.PeekPage(0) },
+		"LoadPage": func() { r.LoadPage(0, make([]byte, 4096)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on phantom did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,283 @@
+// Package migrate implements iterative pre-copy live migration on the
+// dirty-page-tracking substrate — the second classic consumer of
+// mprotect-based write tracking (after incremental checkpointing), and
+// the mechanism behind process migration systems like the CoCheck work
+// the paper surveys (§7).
+//
+// Migration proceeds in rounds while the application keeps running:
+// round 0 transfers the whole footprint; each subsequent round transfers
+// the pages dirtied during the previous round's transfer window. When
+// the delta stops shrinking — the application's write rate has caught up
+// with the link — the application is paused for a final stop-and-copy of
+// the residual dirty set. The downtime is therefore the residual set
+// size over the link bandwidth: exactly the quantity the paper's IWS/IB
+// analysis lets one predict, and exactly why migrating during a quiet
+// communication window beats migrating mid-burst (§6.2 again).
+//
+// With backed address spaces the destination receives real page
+// contents, and the test suite asserts the destination is bit-identical
+// to the source at the instant migration completes, under concurrent
+// writes. Phantom spaces migrate metadata only (for full-scale volume
+// experiments).
+package migrate
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+// Options configures a migration.
+type Options struct {
+	// Link models the transfer path; the zero value selects QsNet.
+	Link storage.Model
+	// MaxRounds bounds the pre-copy phase (default 8). Reaching the
+	// bound forces the stop-and-copy regardless of convergence.
+	MaxRounds int
+	// StopPages triggers the final pause when a round's dirty set is
+	// at most this many pages (default 16).
+	StopPages uint64
+	// OnPause is called at the start of the final stop-and-copy — the
+	// moment a real migration SIGSTOPs the source process. The
+	// application driver must stop issuing writes when it fires; the
+	// destination is consistent with the source as of this instant.
+	OnPause func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Link == (storage.Model{}) {
+		o.Link = storage.QsNetSink()
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 8
+	}
+	if o.StopPages == 0 {
+		o.StopPages = 16
+	}
+	return o
+}
+
+// RoundStat describes one pre-copy round.
+type RoundStat struct {
+	Round    int
+	Pages    uint64
+	Bytes    uint64
+	Duration des.Time
+}
+
+// Result summarises a completed migration.
+type Result struct {
+	Rounds []RoundStat
+	// DowntimePages and Downtime describe the final stop-and-copy.
+	DowntimePages uint64
+	Downtime      des.Time
+	// TotalBytes includes all rounds plus the final copy.
+	TotalBytes uint64
+	// Converged reports whether the delta shrank below StopPages
+	// (false when MaxRounds forced the pause).
+	Converged bool
+	// CompletedAt is the virtual time the destination became live.
+	CompletedAt des.Time
+}
+
+// Migrator transfers one address space to a destination while the source
+// keeps running.
+type Migrator struct {
+	eng  *des.Engine
+	src  *mem.AddressSpace
+	dst  *mem.AddressSpace
+	opts Options
+
+	dirty    map[*mem.Region]*bitset.Set
+	excluded map[*mem.Region]bool
+	prevF    mem.FaultHandler
+	running  bool
+	res      Result
+	onDone   func(Result, error)
+}
+
+// New prepares a migration from src into dst. dst must be an empty
+// address space with the same page size and backing mode; the source's
+// region layout is replicated immediately.
+func New(eng *des.Engine, src, dst *mem.AddressSpace, opts Options) (*Migrator, error) {
+	if src.PageSize() != dst.PageSize() {
+		return nil, fmt.Errorf("migrate: page size mismatch %d vs %d", src.PageSize(), dst.PageSize())
+	}
+	if src.Phantom() != dst.Phantom() {
+		return nil, fmt.Errorf("migrate: backing mode mismatch")
+	}
+	for _, r := range dst.Regions() {
+		if r.Kind().Checkpointable() {
+			return nil, fmt.Errorf("migrate: destination already has a %v region", r.Kind())
+		}
+	}
+	return &Migrator{
+		eng:      eng,
+		src:      src,
+		dst:      dst,
+		opts:     opts.withDefaults(),
+		dirty:    make(map[*mem.Region]*bitset.Set),
+		excluded: make(map[*mem.Region]bool),
+	}, nil
+}
+
+// Exclude skips a region (transport bounce buffers).
+func (m *Migrator) Exclude(r *mem.Region) {
+	if r != nil {
+		m.excluded[r] = true
+	}
+}
+
+// Run starts the migration; onDone fires at the virtual time the
+// destination is complete and consistent.
+func (m *Migrator) Run(onDone func(Result, error)) error {
+	if m.running {
+		return fmt.Errorf("migrate: already running")
+	}
+	m.running = true
+	m.onDone = onDone
+	// Replicate the source layout at the destination.
+	for _, r := range m.src.Regions() {
+		if !r.Kind().Checkpointable() || m.excluded[r] {
+			continue
+		}
+		if _, err := m.dst.MapAt(r.Start(), r.Size(), r.Kind()); err != nil {
+			return fmt.Errorf("migrate: replicate region: %w", err)
+		}
+	}
+	// Track writes from now on.
+	m.prevF = m.src.SetFaultHandler(m.onFault)
+	m.protectAll()
+	// Round 0: the whole footprint.
+	var pages uint64
+	for _, r := range m.src.Regions() {
+		if r.Kind().Checkpointable() && !m.excluded[r] {
+			pages += r.Pages()
+		}
+	}
+	m.copyAll()
+	m.round(0, pages)
+	return nil
+}
+
+func (m *Migrator) protectAll() {
+	for _, r := range m.src.Regions() {
+		if r.Kind().Checkpointable() && !m.excluded[r] {
+			r.ProtectAll()
+		}
+	}
+}
+
+func (m *Migrator) onFault(f mem.Fault) {
+	rs := m.dirty[f.Region]
+	if rs == nil {
+		rs = &bitset.Set{}
+		m.dirty[f.Region] = rs
+	}
+	rs.Add(f.Region.PageIndex(f.Page))
+	f.Region.SetProtected(f.Page, false)
+	if m.prevF != nil {
+		m.prevF(f)
+	}
+}
+
+// copyPage transfers one page's current content to the destination.
+func (m *Migrator) copyPage(r *mem.Region, idx uint64) {
+	if m.src.Phantom() {
+		return // metadata-only migration
+	}
+	dr := m.dst.Find(r.PageAddr(idx))
+	if dr == nil {
+		return // region vanished at the destination (unmapped source)
+	}
+	if pd := r.PeekPage(idx); pd != nil {
+		dr.LoadPage(dr.PageIndex(r.PageAddr(idx)), pd)
+	}
+}
+
+// copyAll transfers every page (round 0). Contents are read at call time;
+// anything overwritten later re-enters via the dirty rounds.
+func (m *Migrator) copyAll() {
+	for _, r := range m.src.Regions() {
+		if !r.Kind().Checkpointable() || m.excluded[r] {
+			continue
+		}
+		for idx := uint64(0); idx < r.Pages(); idx++ {
+			m.copyPage(r, idx)
+		}
+	}
+}
+
+// snapshotDirty copies the current dirty pages to the destination and
+// returns the count, resetting the dirty state and re-protecting.
+func (m *Migrator) snapshotDirty() uint64 {
+	var pages uint64
+	for r, rs := range m.dirty {
+		if r.Dead() {
+			delete(m.dirty, r)
+			continue
+		}
+		rs.ForEachBelow(r.Pages(), func(idx uint64) bool {
+			m.copyPage(r, idx)
+			pages++
+			return true
+		})
+		rs.Clear()
+	}
+	m.protectAll()
+	return pages
+}
+
+// round accounts one transfer window of the given size and schedules the
+// next step.
+func (m *Migrator) round(n int, pages uint64) {
+	bytes := pages * m.src.PageSize()
+	dur := m.opts.Link.WriteTime(bytes)
+	m.res.Rounds = append(m.res.Rounds, RoundStat{Round: n, Pages: pages, Bytes: bytes, Duration: dur})
+	m.res.TotalBytes += bytes
+	m.eng.After(dur, func() { m.nextRound(n) })
+}
+
+// nextRound fires when round n's transfer window closes: decide whether
+// to pre-copy again or pause for the final copy.
+func (m *Migrator) nextRound(n int) {
+	var pending uint64
+	for r, rs := range m.dirty {
+		if !r.Dead() {
+			pending += rs.CountBelow(r.Pages())
+		}
+	}
+	prev := m.res.Rounds[len(m.res.Rounds)-1].Pages
+	converging := pending < prev
+	if pending <= m.opts.StopPages || n+1 >= m.opts.MaxRounds || !converging {
+		// Final stop-and-copy: the application pauses (OnPause is its
+		// SIGSTOP); the copy is atomic in virtual time, the downtime
+		// is its transfer cost.
+		if m.opts.OnPause != nil {
+			m.opts.OnPause()
+		}
+		pages := m.snapshotDirty()
+		m.res.DowntimePages = pages
+		m.res.Downtime = m.opts.Link.WriteTime(pages * m.src.PageSize())
+		m.res.TotalBytes += pages * m.src.PageSize()
+		m.res.Converged = pending <= m.opts.StopPages
+		m.eng.After(m.res.Downtime, m.finish)
+		return
+	}
+	// Another pre-copy round.
+	pages := m.snapshotDirty()
+	m.round(n+1, pages)
+}
+
+func (m *Migrator) finish() {
+	m.src.SetFaultHandler(m.prevF)
+	m.src.UnprotectAllData()
+	m.running = false
+	m.res.CompletedAt = m.eng.Now()
+	if m.onDone != nil {
+		m.onDone(m.res, nil)
+	}
+}

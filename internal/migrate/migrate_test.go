@@ -1,0 +1,248 @@
+package migrate
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+const pageSize = 4096
+
+func pair(t *testing.T) (*des.Engine, *mem.AddressSpace, *mem.AddressSpace) {
+	t.Helper()
+	eng := des.NewEngine()
+	src := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+	dst := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+	return eng, src, dst
+}
+
+// slowLink transfers one page per virtual second.
+func slowLink() storage.Model {
+	return storage.Model{Name: "slow", Bandwidth: pageSize}
+}
+
+func TestQuiescentMigration(t *testing.T) {
+	eng, src, dst := pair(t)
+	r, _ := src.Mmap(8 * pageSize)
+	src.Write(r.Start(), bytes.Repeat([]byte{0xAB}, 8*pageSize))
+	m, err := New(eng, src, dst, Options{Link: slowLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	done := false
+	if err := m.Run(func(rr Result, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		res = rr
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.MaxTime)
+	if !done {
+		t.Fatal("migration never completed")
+	}
+	// A quiescent source converges after round 0 with zero downtime
+	// pages.
+	if len(res.Rounds) != 1 || res.Rounds[0].Pages != 8 {
+		t.Fatalf("rounds: %+v", res.Rounds)
+	}
+	if res.DowntimePages != 0 || !res.Converged {
+		t.Fatalf("result: %+v", res)
+	}
+	got := make([]byte, 8*pageSize)
+	if err := dst.Read(r.Start(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 8*pageSize)) {
+		t.Fatal("destination contents differ")
+	}
+}
+
+func TestLiveMigrationUnderWrites(t *testing.T) {
+	eng, src, dst := pair(t)
+	const pages = 16
+	r, _ := src.Mmap(pages * pageSize)
+	src.Write(r.Start(), bytes.Repeat([]byte{1}, pages*pageSize))
+
+	paused := false
+	m, err := New(eng, src, dst, Options{
+		Link:      slowLink(),
+		StopPages: 2,
+		OnPause:   func() { paused = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A writer keeps dirtying a shrinking set of pages until paused.
+	var writer func(i int)
+	writer = func(i int) {
+		if paused {
+			return
+		}
+		n := max(1, 8-i) // shrinking working set → convergence
+		src.Write(r.Start(), bytes.Repeat([]byte{byte(i)}, n*pageSize))
+		eng.After(des.Second, func() { writer(i + 1) })
+	}
+	eng.After(des.Second/2, func() { writer(0) })
+
+	var res Result
+	if err := m.Run(func(rr Result, err error) { res = rr }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.MaxTime)
+
+	if !paused {
+		t.Fatal("OnPause never fired")
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("expected pre-copy rounds under live writes: %+v", res.Rounds)
+	}
+	// The defining property: destination == source at the pause.
+	want := make([]byte, pages*pageSize)
+	src.Read(r.Start(), want)
+	got := make([]byte, pages*pageSize)
+	dst.Read(r.Start(), got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("destination diverged from paused source")
+	}
+	// Total traffic exceeds the footprint (re-copied dirty pages).
+	if res.TotalBytes <= pages*pageSize {
+		t.Fatalf("total bytes %d too small for live migration", res.TotalBytes)
+	}
+	// Writes after completion don't fault (handler removed).
+	before := src.Faults()
+	src.Write(r.Start(), []byte{9})
+	if src.Faults() != before {
+		t.Fatal("source still tracked after migration")
+	}
+}
+
+func TestNonConvergingForcesPause(t *testing.T) {
+	eng, src, dst := pair(t)
+	const pages = 32
+	r, _ := src.Mmap(pages * pageSize)
+	paused := false
+	m, _ := New(eng, src, dst, Options{
+		Link:      slowLink(),
+		StopPages: 1,
+		MaxRounds: 20,
+		OnPause:   func() { paused = true },
+	})
+	// A writer that redirties the whole footprint continuously: the
+	// delta never shrinks, so the migrator must cut over anyway.
+	var writer func()
+	writer = func() {
+		if paused {
+			return
+		}
+		src.WriteRange(r.Start(), pages*pageSize)
+		eng.After(des.Second/4, writer)
+	}
+	eng.After(des.Second/4, writer)
+	var res Result
+	m.Run(func(rr Result, err error) { res = rr })
+	eng.Run(des.MaxTime)
+	if res.Converged {
+		t.Fatal("non-converging migration reported convergence")
+	}
+	if res.DowntimePages == 0 {
+		t.Fatal("forced cutover should pay downtime")
+	}
+	// Downtime bounded by footprint / link.
+	if res.Downtime > slowLink().WriteTime(pages*pageSize) {
+		t.Fatalf("downtime %v exceeds full-copy time", res.Downtime)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := des.NewEngine()
+	src := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	dstBad := mem.NewAddressSpace(mem.Config{PageSize: 8192})
+	if _, err := New(eng, src, dstBad, Options{}); err == nil {
+		t.Fatal("page size mismatch accepted")
+	}
+	phantom := mem.NewAddressSpace(mem.Config{PageSize: 4096, Phantom: true})
+	if _, err := New(eng, src, phantom, Options{}); err == nil {
+		t.Fatal("backing mismatch accepted")
+	}
+	occupied := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	occupied.Mmap(4096)
+	if _, err := New(eng, src, occupied, Options{}); err == nil {
+		t.Fatal("occupied destination accepted")
+	}
+	m, _ := New(eng, src, mem.NewAddressSpace(mem.Config{PageSize: 4096}), Options{})
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(nil); err == nil {
+		t.Fatal("double Run accepted")
+	}
+}
+
+func TestPhantomMigrationMetadataOnly(t *testing.T) {
+	eng := des.NewEngine()
+	src := mem.NewAddressSpace(mem.Config{PageSize: pageSize, Phantom: true})
+	dst := mem.NewAddressSpace(mem.Config{PageSize: pageSize, Phantom: true})
+	r, _ := src.Mmap(64 * pageSize)
+	src.WriteRange(r.Start(), 64*pageSize)
+	m, _ := New(eng, src, dst, Options{Link: storage.QsNetSink()})
+	var res Result
+	m.Run(func(rr Result, err error) { res = rr })
+	eng.Run(des.MaxTime)
+	if res.Rounds[0].Pages != 64 {
+		t.Fatalf("rounds: %+v", res.Rounds)
+	}
+	if dst.Find(r.Start()) == nil {
+		t.Fatal("destination layout not replicated")
+	}
+}
+
+// Property: for random writer schedules, the destination always matches
+// the source at the pause instant.
+func TestPropertyLiveMigrationConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 111))
+		eng := des.NewEngine()
+		src := mem.NewAddressSpace(mem.Config{PageSize: 512})
+		dst := mem.NewAddressSpace(mem.Config{PageSize: 512})
+		const pages = 24
+		r, _ := src.Mmap(pages * 512)
+		paused := false
+		m, _ := New(eng, src, dst, Options{
+			Link:      storage.Model{Name: "l", Bandwidth: 512 * float64(rng.IntN(6)+1)},
+			StopPages: uint64(rng.IntN(4) + 1),
+			MaxRounds: rng.IntN(6) + 2,
+			OnPause:   func() { paused = true },
+		})
+		for i := 0; i < rng.IntN(30); i++ {
+			at := des.Time(rng.IntN(20000)) * des.Millisecond
+			off := uint64(rng.IntN(pages)) * 512
+			val := byte(rng.IntN(256))
+			eng.Schedule(at, func() {
+				if !paused {
+					src.Write(r.Start()+off, bytes.Repeat([]byte{val}, 512))
+				}
+			})
+		}
+		if m.Run(nil) != nil {
+			return false
+		}
+		eng.Run(des.MaxTime)
+		want := make([]byte, pages*512)
+		src.Read(r.Start(), want)
+		got := make([]byte, pages*512)
+		dst.Read(r.Start(), got)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

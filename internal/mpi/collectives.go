@@ -1,0 +1,88 @@
+package mpi
+
+import "repro/internal/des"
+
+// Additional collectives beyond Barrier/AllReduce. All follow the same
+// completion model: barrier synchronisation (every rank must call the
+// collective) plus an algorithmic transfer cost, with result payloads
+// deposited through the rank's delivery path so trackers observe the
+// writes.
+
+// Bcast broadcasts bytes from root to every rank. Non-root ranks receive
+// the payload at destAddr (0 to skip the memory write); the root's buffer
+// is its own and is not rewritten. Completion follows a binomial-tree
+// schedule: ceil(log2 N) steps of (latency + bytes/bw).
+func (r *Rank) Bcast(root int, bytes uint64, destAddr uint64, fn func()) {
+	w := r.world
+	steps := des.Time(logTwo(len(w.ranks)))
+	xfer := steps * w.net.transfer(bytes)
+	rank := r
+	r.Barrier(func() {
+		w.eng.After(xfer, func() {
+			if rank.id != root {
+				if destAddr != 0 && bytes > 0 {
+					rank.copyOut(destAddr, bytes)
+				}
+				rank.stats.BytesReceived += bytes
+				if rank.onDeliver != nil {
+					rank.onDeliver(bytes, w.eng.Now())
+				}
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// Reduce combines bytes from every rank at root, which receives the
+// result at destAddr (0 to skip). Completion mirrors Bcast's tree.
+func (r *Rank) Reduce(root int, bytes uint64, destAddr uint64, fn func()) {
+	w := r.world
+	steps := des.Time(logTwo(len(w.ranks)))
+	xfer := steps * w.net.transfer(bytes)
+	rank := r
+	r.Barrier(func() {
+		w.eng.After(xfer, func() {
+			if rank.id == root {
+				if destAddr != 0 && bytes > 0 {
+					rank.copyOut(destAddr, bytes)
+				}
+				rank.stats.BytesReceived += bytes
+				if rank.onDeliver != nil {
+					rank.onDeliver(bytes, w.eng.Now())
+				}
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// Alltoall exchanges bytesPerRank with every other rank (the FT transpose
+// pattern): each rank contributes and receives (N-1) x bytesPerRank. The
+// received payload lands contiguously at destAddr. Completion models a
+// pairwise-exchange schedule: (N-1) steps of (latency + bytesPerRank/bw).
+func (r *Rank) Alltoall(bytesPerRank uint64, destAddr uint64, fn func()) {
+	w := r.world
+	n := len(w.ranks)
+	steps := des.Time(n - 1)
+	xfer := steps * w.net.transfer(bytesPerRank)
+	total := bytesPerRank * uint64(n-1)
+	rank := r
+	r.Barrier(func() {
+		w.eng.After(xfer, func() {
+			if destAddr != 0 && total > 0 {
+				rank.copyOut(destAddr, total)
+			}
+			rank.stats.BytesReceived += total
+			if rank.onDeliver != nil && total > 0 {
+				rank.onDeliver(total, w.eng.Now())
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}

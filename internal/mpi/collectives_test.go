@@ -1,0 +1,165 @@
+package mpi
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+)
+
+func TestBcast(t *testing.T) {
+	eng, w := testWorld(t, 4, Bounce)
+	bufs := make([]uint64, 4)
+	for i := range bufs {
+		r, _ := w.Rank(i).Space().Mmap(1 << 16)
+		bufs[i] = r.Start()
+	}
+	done := 0
+	for i := 0; i < 4; i++ {
+		w.Rank(i).Bcast(0, 8192, bufs[i], func() { done++ })
+	}
+	eng.Run(des.MaxTime)
+	if done != 4 {
+		t.Fatalf("bcast completed on %d ranks", done)
+	}
+	// Root does not count itself as a receiver.
+	if w.Rank(0).Stats().BytesReceived != 0 {
+		t.Fatal("root received its own broadcast")
+	}
+	for i := 1; i < 4; i++ {
+		if got := w.Rank(i).Stats().BytesReceived; got != 8192 {
+			t.Fatalf("rank %d received %d", i, got)
+		}
+	}
+}
+
+func TestBcastWritesDestination(t *testing.T) {
+	eng, w := testWorld(t, 2, Bounce)
+	r1 := w.Rank(1)
+	buf, _ := r1.Space().Mmap(1 << 14)
+	var faults int
+	r1.Space().SetFaultHandler(func(f mem.Fault) {
+		faults++
+		f.Region.SetProtected(f.Page, false)
+	})
+	buf.ProtectAll()
+	w.Rank(0).Bcast(0, 8192, 0, nil)
+	r1.Bcast(0, 8192, buf.Start(), nil)
+	eng.Run(des.MaxTime)
+	if faults != 2 { // 8192 B = 2 pages of 4096
+		t.Fatalf("bcast payload writes took %d faults, want 2", faults)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	eng, w := testWorld(t, 4, Bounce)
+	root := 2
+	buf, _ := w.Rank(root).Space().Mmap(1 << 14)
+	done := 0
+	for i := 0; i < 4; i++ {
+		dest := uint64(0)
+		if i == root {
+			dest = buf.Start()
+		}
+		w.Rank(i).Reduce(root, 4096, dest, func() { done++ })
+	}
+	eng.Run(des.MaxTime)
+	if done != 4 {
+		t.Fatalf("reduce completed on %d ranks", done)
+	}
+	if got := w.Rank(root).Stats().BytesReceived; got != 4096 {
+		t.Fatalf("root received %d", got)
+	}
+	if got := w.Rank(0).Stats().BytesReceived; got != 0 {
+		t.Fatalf("non-root received %d", got)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	eng, w := testWorld(t, 4, Bounce)
+	bufs := make([]uint64, 4)
+	for i := range bufs {
+		r, _ := w.Rank(i).Space().Mmap(1 << 16)
+		bufs[i] = r.Start()
+	}
+	var doneAt des.Time
+	done := 0
+	for i := 0; i < 4; i++ {
+		w.Rank(i).Alltoall(1000, bufs[i], func() { done++; doneAt = eng.Now() })
+	}
+	eng.Run(des.MaxTime)
+	if done != 4 {
+		t.Fatalf("alltoall completed on %d ranks", done)
+	}
+	// Each rank receives (N-1) x bytesPerRank.
+	for i := 0; i < 4; i++ {
+		if got := w.Rank(i).Stats().BytesReceived; got != 3000 {
+			t.Fatalf("rank %d received %d, want 3000", i, got)
+		}
+	}
+	// Completion: barrier (2 latency steps) + 3 pairwise transfers.
+	net := QsNet()
+	want := net.Latency*2 + 3*net.transfer(1000)
+	if doneAt != want {
+		t.Fatalf("alltoall completed at %v, want %v", doneAt, want)
+	}
+}
+
+func TestCollectiveDeliveryHook(t *testing.T) {
+	eng, w := testWorld(t, 2, Bounce)
+	var seen uint64
+	w.Rank(1).SetDeliveryHook(func(b uint64, _ des.Time) { seen += b })
+	w.Rank(0).Bcast(0, 512, 0, nil)
+	w.Rank(1).Bcast(0, 512, 0, nil)
+	eng.Run(des.MaxTime)
+	if seen != 512 {
+		t.Fatalf("hook saw %d bytes", seen)
+	}
+}
+
+// Property: messages between a fixed (src, dst, tag) pair are delivered
+// in send order — the MPI non-overtaking guarantee our fixed-latency
+// link preserves.
+func TestPropertyNonOvertaking(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 121))
+		eng := des.NewEngine()
+		spaces := []*mem.AddressSpace{
+			mem.NewAddressSpace(mem.Config{PageSize: 4096, Phantom: true}),
+			mem.NewAddressSpace(mem.Config{PageSize: 4096, Phantom: true}),
+		}
+		w, err := NewWorld(eng, QsNet(), Direct, spaces)
+		if err != nil {
+			return false
+		}
+		count := int(n%20) + 2
+		var got []uint64
+		for i := 0; i < count; i++ {
+			w.Rank(1).Recv(0, 5, 0, func(m Message) { got = append(got, m.Bytes) })
+		}
+		// Sends injected at increasing times with equal sizes carry
+		// their sequence number as the (distinguishable) size.
+		for i := 0; i < count; i++ {
+			i := i
+			at := des.Time(i*10+rng.IntN(5)) * des.Millisecond
+			eng.Schedule(at, func() {
+				w.Rank(0).Send(1, 5, uint64(i+1), nil)
+			})
+		}
+		eng.Run(des.MaxTime)
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

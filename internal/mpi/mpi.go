@@ -1,0 +1,423 @@
+// Package mpi simulates the message-passing substrate the paper's
+// applications run on: a set of ranks exchanging point-to-point messages
+// and collectives over a network with a peak-bandwidth/latency cost model
+// (defaults match the Quadrics QsNet II figures the paper cites: 900 MB/s,
+// a few microseconds of latency).
+//
+// The package also reproduces the interaction the paper describes in §4.2
+// between a user-level memory-protection tracker and a NIC capable of
+// writing directly into user memory: in Direct mode, deliveries into
+// write-protected pages fail (the hardware analogue of the "problems" the
+// paper reports), while in Bounce mode the NIC deposits messages into an
+// unprotected bounce buffer and the CPU copies them to their destination,
+// taking ordinary write faults that the tracker observes — the paper's
+// workaround, with its "unavoidable overhead".
+//
+// Completion is continuation-passing: every operation takes a callback run
+// at the operation's virtual completion time. This keeps the simulation
+// deterministic (no goroutines) while preserving blocking MPI semantics:
+// a rank's program is a chain of callbacks, and a Recv's continuation does
+// not run before the matching Send has arrived.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+)
+
+// AnySource matches a Recv against a Send from any rank.
+const AnySource = -1
+
+// DeliveryMode selects how the NIC writes incoming message payloads.
+type DeliveryMode uint8
+
+const (
+	// Bounce models the paper's workaround (and is the default): the
+	// NIC writes into a dedicated unprotected buffer, and the CPU
+	// copies the payload to its destination, faulting like any other
+	// write.
+	Bounce DeliveryMode = iota
+	// Direct models zero-copy DMA into the destination buffer. Writes
+	// bypass the CPU entirely, so they take no write faults — and fail
+	// outright when the destination page is write-protected.
+	Direct
+)
+
+// Network is the interconnect cost model.
+type Network struct {
+	// Latency is the one-way message latency.
+	Latency des.Time
+	// Bandwidth is the peak link bandwidth in bytes per virtual second.
+	Bandwidth float64
+	// CopyBandwidth is the CPU memcpy bandwidth used for bounce-buffer
+	// copies, in bytes per virtual second.
+	CopyBandwidth float64
+}
+
+// QsNet returns the network model for the Quadrics QsNet II interconnect
+// used in the paper's cluster (§3: 900 MB/s peak).
+func QsNet() Network {
+	return Network{
+		Latency:       2 * des.Microsecond,
+		Bandwidth:     900e6,
+		CopyBandwidth: 2e9, // Itanium II STREAM-class copy rate
+	}
+}
+
+// transfer returns the wire time for n bytes.
+func (n Network) transfer(bytes uint64) des.Time {
+	return n.Latency + des.Time(float64(bytes)/n.Bandwidth*float64(des.Second))
+}
+
+// copyTime returns the CPU time to copy n bytes out of the bounce buffer.
+func (n Network) copyTime(bytes uint64) des.Time {
+	if n.CopyBandwidth <= 0 {
+		return 0
+	}
+	return des.Time(float64(bytes) / n.CopyBandwidth * float64(des.Second))
+}
+
+// Message describes a delivered point-to-point message.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	Bytes    uint64
+	// Payload carries the message bytes when the sender used SendData;
+	// nil for size-only sends, whose delivery writes a synthetic fill.
+	Payload []byte
+	// SentAt is the virtual time the sender injected the message.
+	SentAt des.Time
+	// DeliveredAt is the virtual time the payload landed at the receiver.
+	DeliveredAt des.Time
+}
+
+type matchKey struct {
+	src int // AnySource allowed in recvs
+	tag int
+}
+
+type pendingRecv struct {
+	key  matchKey
+	addr uint64 // destination buffer; 0 means "count only"
+	fn   func(Message)
+}
+
+type pendingMsg struct {
+	msg     Message
+	arrived des.Time
+}
+
+// Stats aggregates per-rank communication counters.
+type Stats struct {
+	Sends, Recvs     uint64
+	BytesSent        uint64
+	BytesReceived    uint64
+	NICConflicts     uint64 // Direct-mode deliveries that hit protected pages
+	BounceCopyBytes  uint64 // bytes copied out of the bounce buffer by the CPU
+	CollectiveCalls  uint64
+	BarrierWaitTotal des.Time // total time ranks spent waiting in barriers
+}
+
+// Rank is one simulated MPI process.
+type Rank struct {
+	world *World
+	id    int
+	space *mem.AddressSpace
+
+	bounce    *mem.Region // unprotected landing zone (Bounce mode)
+	recvQ     []*pendingRecv
+	arrived   []pendingMsg
+	stats     Stats
+	onDeliver func(bytes uint64, at des.Time)
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Space returns the rank's address space.
+func (r *Rank) Space() *mem.AddressSpace { return r.space }
+
+// Stats returns a copy of the rank's counters.
+func (r *Rank) Stats() Stats { return r.stats }
+
+// SetDeliveryHook installs fn to observe every payload delivery (the
+// tracker uses this to build the paper's "data received per timeslice"
+// series, Fig 1b). It returns the previous hook.
+func (r *Rank) SetDeliveryHook(fn func(bytes uint64, at des.Time)) func(uint64, des.Time) {
+	old := r.onDeliver
+	r.onDeliver = fn
+	return old
+}
+
+// World is a communicator spanning a fixed set of ranks.
+type World struct {
+	eng   *des.Engine
+	net   Network
+	mode  DeliveryMode
+	ranks []*Rank
+
+	barrierGen     uint64
+	barrierArrived int
+	barrierFns     []func()
+	barrierMax     des.Time
+	barrierFirst   des.Time
+}
+
+// NewWorld creates n ranks, each owning one of the provided address
+// spaces (len(spaces) must equal n). In Bounce mode each rank gets a
+// 1 MB bounce arena mapped outside tracker protection.
+func NewWorld(eng *des.Engine, net Network, mode DeliveryMode, spaces []*mem.AddressSpace) (*World, error) {
+	if len(spaces) == 0 {
+		return nil, fmt.Errorf("mpi: world needs at least one rank")
+	}
+	w := &World{eng: eng, net: net, mode: mode}
+	for i, sp := range spaces {
+		r := &Rank{world: w, id: i, space: sp}
+		if mode == Bounce {
+			b, err := sp.Mmap(1 << 20)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: bounce buffer for rank %d: %w", i, err)
+			}
+			r.bounce = b
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Mode returns the delivery mode.
+func (w *World) Mode() DeliveryMode { return w.mode }
+
+// BounceRegion returns rank i's bounce arena (nil in Direct mode).
+// The tracker must leave this region unprotected, exactly as the paper's
+// library keeps its network landing zone writable.
+func (w *World) BounceRegion(i int) *mem.Region { return w.ranks[i].bounce }
+
+// Send injects a message of the given size from r to dst. The payload
+// lands at the receiver's posted buffer address. onComplete (optional)
+// runs when the sender's injection finishes (eager protocol: immediately
+// after the send overhead).
+func (r *Rank) Send(dst, tag int, bytes uint64, onComplete func()) {
+	r.send(dst, tag, bytes, nil, onComplete)
+}
+
+// SendData injects a message carrying real bytes; the receiver's buffer
+// ends up holding exactly data. The slice is copied at injection, like a
+// NIC reading the send buffer, so the caller may reuse it immediately.
+func (r *Rank) SendData(dst, tag int, data []byte, onComplete func()) {
+	payload := append([]byte(nil), data...)
+	r.send(dst, tag, uint64(len(payload)), payload, onComplete)
+}
+
+func (r *Rank) send(dst, tag int, bytes uint64, payload []byte, onComplete func()) {
+	if dst < 0 || dst >= len(r.world.ranks) {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	w := r.world
+	r.stats.Sends++
+	r.stats.BytesSent += bytes
+	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: w.eng.Now()}
+	arrival := w.net.transfer(bytes)
+	w.eng.After(arrival, func() {
+		w.ranks[dst].deliver(msg)
+	})
+	if onComplete != nil {
+		// Eager injection: sender-side overhead is one latency.
+		w.eng.After(w.net.Latency, onComplete)
+	}
+}
+
+// Recv posts a receive on r for a message from src (or AnySource) with the
+// given tag, to be deposited at destAddr in r's address space (destAddr 0
+// skips the memory write and only counts bytes). fn runs once the payload
+// has been delivered — including the bounce-buffer copy in Bounce mode.
+func (r *Rank) Recv(src, tag int, destAddr uint64, fn func(Message)) {
+	pr := &pendingRecv{key: matchKey{src, tag}, addr: destAddr, fn: fn}
+	// Try unexpected-message queue first (arrival order).
+	for i, pm := range r.arrived {
+		if pr.matches(pm.msg) {
+			r.arrived = append(r.arrived[:i], r.arrived[i+1:]...)
+			r.complete(pr, pm.msg, pm.arrived)
+			return
+		}
+	}
+	r.recvQ = append(r.recvQ, pr)
+}
+
+func (pr *pendingRecv) matches(m Message) bool {
+	return (pr.key.src == AnySource || pr.key.src == m.Src) && pr.key.tag == m.Tag
+}
+
+// deliver handles a message arriving at the NIC at the current time.
+func (r *Rank) deliver(m Message) {
+	m.DeliveredAt = r.world.eng.Now()
+	for i, pr := range r.recvQ {
+		if pr.matches(m) {
+			r.recvQ = append(r.recvQ[:i], r.recvQ[i+1:]...)
+			r.complete(pr, m, m.DeliveredAt)
+			return
+		}
+	}
+	r.arrived = append(r.arrived, pendingMsg{m, m.DeliveredAt})
+}
+
+// complete finishes a matched receive: the payload is written into the
+// destination buffer per the delivery mode, then fn runs.
+func (r *Rank) complete(pr *pendingRecv, m Message, arrivedAt des.Time) {
+	w := r.world
+	finish := func() {
+		r.stats.Recvs++
+		r.stats.BytesReceived += m.Bytes
+		if r.onDeliver != nil {
+			r.onDeliver(m.Bytes, w.eng.Now())
+		}
+		if pr.fn != nil {
+			pr.fn(m)
+		}
+	}
+	if pr.addr == 0 || m.Bytes == 0 {
+		finish()
+		return
+	}
+	switch w.mode {
+	case Direct:
+		// DMA: no CPU involvement, no write faults — but a protected
+		// destination page is a conflict the hardware cannot resolve.
+		if r.pageSpanProtected(pr.addr, m.Bytes) {
+			r.stats.NICConflicts++
+			// The payload is dropped; tracking below the NIC is
+			// impossible, which is precisely why the paper's
+			// library intercepts receive calls.
+			finish()
+			return
+		}
+		r.store(pr.addr, m.Bytes, m.Payload)
+		finish()
+	case Bounce:
+		// NIC lands the payload in the bounce arena (unprotected, no
+		// faults), then the CPU copies it out, faulting normally.
+		r.stats.BounceCopyBytes += m.Bytes
+		w.eng.After(w.net.copyTime(m.Bytes), func() {
+			r.store(pr.addr, m.Bytes, m.Payload)
+			finish()
+		})
+	}
+}
+
+// pageSpanProtected reports whether any page in [addr, addr+n) is
+// write-protected.
+func (r *Rank) pageSpanProtected(addr, n uint64) bool {
+	reg := r.space.Find(addr)
+	if reg == nil {
+		return false
+	}
+	ps := r.space.PageSize()
+	end := min(addr+n, reg.End())
+	for pa := addr &^ (ps - 1); pa < end; pa += ps {
+		if reg.Protected(pa) {
+			return true
+		}
+	}
+	return false
+}
+
+// store lands n delivered bytes (real payload when non-nil, synthetic
+// fill otherwise) at addr, clamped to the destination region. In Direct
+// mode all target pages are already unprotected so no faults fire; in
+// Bounce mode this is the CPU copy, faulting like any application store.
+func (r *Rank) store(addr, n uint64, payload []byte) {
+	reg := r.space.Find(addr)
+	if reg == nil {
+		return
+	}
+	if addr+n > reg.End() {
+		n = reg.End() - addr
+	}
+	if payload != nil {
+		_ = r.space.Write(addr, payload[:n])
+		return
+	}
+	_ = r.space.WriteRange(addr, n)
+}
+
+// copyOut is the size-only store used by collectives' result buffers.
+func (r *Rank) copyOut(addr, n uint64) { r.store(addr, n, nil) }
+
+// logTwo returns ceil(log2(n)) with logTwo(1) == 0.
+func logTwo(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Barrier blocks r until every rank in the world has called Barrier for
+// the same generation. All continuations run at the same virtual time:
+// lastArrival + latency*ceil(log2 N), the dissemination-barrier cost.
+func (r *Rank) Barrier(fn func()) {
+	w := r.world
+	r.stats.CollectiveCalls++
+	now := w.eng.Now()
+	if w.barrierArrived == 0 {
+		w.barrierMax = now
+		w.barrierFirst = now
+	}
+	if now > w.barrierMax {
+		w.barrierMax = now
+	}
+	w.barrierArrived++
+	w.barrierFns = append(w.barrierFns, fn)
+	if w.barrierArrived < len(w.ranks) {
+		return
+	}
+	release := w.barrierMax + w.net.Latency*des.Time(logTwo(len(w.ranks)))
+	fns := w.barrierFns
+	wait := w.barrierMax - w.barrierFirst
+	for _, rk := range w.ranks {
+		rk.stats.BarrierWaitTotal += wait
+	}
+	w.barrierArrived = 0
+	w.barrierFns = nil
+	w.barrierGen++
+	w.eng.Schedule(release, func() {
+		for _, f := range fns {
+			if f != nil {
+				f()
+			}
+		}
+	})
+}
+
+// AllReduce performs a global reduction of bytes payload per rank,
+// depositing the result at destAddr in every rank's space (0 to skip the
+// write). Completion follows barrier synchronisation plus the
+// recursive-doubling transfer cost: log2(N) steps of (latency + bytes/bw).
+func (r *Rank) AllReduce(bytes uint64, destAddr uint64, fn func()) {
+	w := r.world
+	steps := des.Time(logTwo(len(w.ranks)))
+	xfer := steps * w.net.transfer(bytes)
+	rank := r
+	r.Barrier(func() {
+		w.eng.After(xfer, func() {
+			if destAddr != 0 && bytes > 0 {
+				rank.copyOut(destAddr, bytes)
+			}
+			rank.stats.BytesReceived += bytes * uint64(logTwo(len(w.ranks)))
+			if rank.onDeliver != nil {
+				rank.onDeliver(bytes*uint64(logTwo(len(w.ranks))), w.eng.Now())
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}

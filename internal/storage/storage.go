@@ -1,0 +1,255 @@
+// Package storage provides the stable-storage substrate checkpoints are
+// saved to: cost models for the sinks the paper compares against (§3:
+// Quadrics QsNet II at 900 MB/s peak and SCSI disk at 320 MB/s peak), and
+// concrete stores (in-memory and file-backed) for checkpoint segments.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/des"
+)
+
+// Model is the bandwidth/latency cost model of a checkpoint sink.
+type Model struct {
+	// Name identifies the sink in reports.
+	Name string
+	// Latency is the fixed per-operation cost (seek, protocol setup).
+	Latency des.Time
+	// Bandwidth is the peak sustained write bandwidth in bytes per
+	// virtual second.
+	Bandwidth float64
+}
+
+// QsNetSink models streaming checkpoints over the Quadrics QsNet II
+// network (§3: 900 MB/s peak).
+func QsNetSink() Model {
+	return Model{Name: "QsNet II (900 MB/s)", Latency: 5 * des.Microsecond, Bandwidth: 900e6}
+}
+
+// SCSISink models a local SCSI disk array (§3: 320 MB/s peak, Seagate
+// Cheetah class).
+func SCSISink() Model {
+	return Model{Name: "SCSI (320 MB/s)", Latency: 5 * des.Millisecond, Bandwidth: 320e6}
+}
+
+// DisklessSink models diskless checkpointing (Plank et al. [19]):
+// checkpoints stream to a partner node's memory over the interconnect,
+// so the path is network-bound (900 MB/s) with memory-class latency —
+// no seek, no platters. Faster commits at the cost of surviving only
+// single-node failures.
+func DisklessSink() Model {
+	return Model{Name: "diskless peer memory (900 MB/s)", Latency: 10 * des.Microsecond, Bandwidth: 900e6}
+}
+
+// WriteTime returns the virtual time needed to persist n bytes.
+func (m Model) WriteTime(n uint64) des.Time {
+	if m.Bandwidth <= 0 {
+		return m.Latency
+	}
+	return m.Latency + des.Time(float64(n)/m.Bandwidth*float64(des.Second))
+}
+
+// Headroom returns available/required: how many times over the sink can
+// absorb the given bandwidth requirement (bytes per virtual second).
+// Values above 1 mean the sink keeps up — the paper's feasibility
+// criterion (§6.3).
+func (m Model) Headroom(requiredBps float64) float64 {
+	if requiredBps <= 0 {
+		return 0
+	}
+	return m.Bandwidth / requiredBps
+}
+
+// Store persists named checkpoint segments.
+type Store interface {
+	// Put stores data under key, replacing any previous value.
+	Put(key string, data []byte) error
+	// Get retrieves the data stored under key.
+	Get(key string) ([]byte, error)
+	// Delete removes key. Deleting a missing key is an error.
+	Delete(key string) error
+	// Keys returns all stored keys in sorted order.
+	Keys() ([]string, error)
+	// Size returns the total stored bytes.
+	Size() (uint64, error)
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[key] = cp
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("storage: key %q not found", key)
+	}
+	cp := make([]byte, len(d))
+	copy(cp, d)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return fmt.Errorf("storage: key %q not found", key)
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size() (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n uint64
+	for _, d := range s.m {
+		n += uint64(len(d))
+	}
+	return n, nil
+}
+
+// FileStore persists segments as files under a directory. Keys may
+// contain '/' separators, which map to subdirectories.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(key string) (string, error) {
+	if key == "" || strings.Contains(key, "..") || filepath.IsAbs(key) {
+		return "", fmt.Errorf("storage: invalid key %q", key)
+	}
+	return filepath.Join(s.dir, filepath.FromSlash(key)), nil
+}
+
+// Put implements Store.
+func (s *FileStore) Put(key string, data []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	d, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: key %q: %w", key, err)
+	}
+	return d, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("storage: key %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.dir, p)
+		if err != nil {
+			return err
+		}
+		keys = append(keys, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Store.
+func (s *FileStore) Size() (uint64, error) {
+	var n uint64
+	err := filepath.WalkDir(s.dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		n += uint64(info.Size())
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,434 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+// Config parameterises a Runner.
+type Config struct {
+	// Ranks is the number of MPI processes; zero selects the spec's
+	// reference count (64 in the paper).
+	Ranks int
+	// PageSize is the simulated page size; zero selects the Itanium II
+	// default (16 KB).
+	PageSize uint64
+	// Backed selects content-carrying pages. The default (phantom)
+	// carries protection metadata only, which is all the feasibility
+	// experiments need; checkpoint/restore tests require Backed.
+	Backed bool
+	// Mode selects NIC delivery; the default is Bounce, the paper's
+	// workaround, which is the only mode compatible with tracking.
+	Mode mpi.DeliveryMode
+	// Net is the interconnect model; the zero value selects QsNet.
+	Net mpi.Network
+	// Seed drives per-rank jitter; runs with equal seeds are identical.
+	Seed uint64
+	// MaxTick caps the sweep scheduling granularity. Zero selects
+	// 50 ms. Smaller ticks cost more events but resolve shorter
+	// timeslices; the runner automatically refines ticks for bursts
+	// shorter than ~20 ticks.
+	MaxTick des.Time
+}
+
+func (c Config) withDefaults(spec Spec) Config {
+	if c.Ranks == 0 {
+		c.Ranks = spec.RefRanks
+	}
+	if c.PageSize == 0 {
+		c.PageSize = mem.DefaultPageSize
+	}
+	if c.Net == (mpi.Network{}) {
+		c.Net = mpi.QsNet()
+	}
+	if c.MaxTick == 0 {
+		c.MaxTick = 50 * des.Millisecond
+	}
+	return c
+}
+
+// Runner executes one application model across a set of ranks on a
+// dedicated simulation engine.
+type Runner struct {
+	Spec Spec
+	Cfg  Config
+
+	Eng    *des.Engine
+	World  *mpi.World
+	spaces []*mem.AddressSpace
+	apps   []*app
+
+	iterZero des.Time // when rank 0 started iteration 0; 0 until known
+}
+
+// New builds the engine, address spaces, MPI world and per-rank
+// application instances, and schedules the data-initialization phase at
+// virtual time zero. Attach trackers to Space(i) before calling Run.
+func New(spec Spec, cfg Config) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(spec)
+	eng := des.NewEngine()
+	spaces := make([]*mem.AddressSpace, cfg.Ranks)
+	for i := range spaces {
+		spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: cfg.PageSize, Phantom: !cfg.Backed})
+	}
+	world, err := mpi.NewWorld(eng, cfg.Net, cfg.Mode, spaces)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{Spec: spec, Cfg: cfg, Eng: eng, World: world, spaces: spaces}
+	for i := 0; i < cfg.Ranks; i++ {
+		a, err := newApp(r, i)
+		if err != nil {
+			return nil, err
+		}
+		r.apps = append(r.apps, a)
+	}
+	// All ranks begin initialization at t=0.
+	eng.Schedule(0, func() {
+		for _, a := range r.apps {
+			a.startInit()
+		}
+	})
+	return r, nil
+}
+
+// Space returns rank i's address space.
+func (r *Runner) Space(i int) *mem.AddressSpace { return r.spaces[i] }
+
+// Run advances the simulation until the given virtual time.
+func (r *Runner) Run(until des.Time) { r.Eng.Run(until) }
+
+// IterZero reports when rank 0 entered its first iteration (after the
+// data-initialization phase); zero until that has happened. Experiments
+// exclude samples before this point, as the paper excludes the
+// initialization write burst (§6.3).
+func (r *Runner) IterZero() des.Time { return r.iterZero }
+
+// InitEstimate returns an analytic upper bound for the initialization
+// phase duration, usable to size Run budgets before running.
+func (r *Runner) InitEstimate() des.Time {
+	secs := r.Spec.PersistentMB() / r.Spec.InitRateMBs
+	return des.FromSeconds(secs*1.05) + 100*des.Millisecond
+}
+
+// DurationFor returns a virtual-time budget covering initialization plus
+// the given number of iterations (plus slack for barrier drift).
+func (r *Runner) DurationFor(iterations int) des.Time {
+	period := r.Spec.PeriodAt(r.Cfg.Ranks)
+	return r.InitEstimate() + des.Time(iterations)*period + period/4
+}
+
+// Iterations reports how many full iterations rank 0 has completed.
+func (r *Runner) Iterations() int { return r.apps[0].iter }
+
+// span is a byte extent the sweep walks through.
+type span struct {
+	base, size uint64
+}
+
+// app is one rank's application instance.
+type app struct {
+	r     *Runner
+	id    int
+	rank  *mpi.Rank
+	space *mem.AddressSpace
+	rng   *rand.Rand
+
+	arena     *mem.Region // persistent arena
+	static    *mem.Region // initialized-data segment
+	stripBase uint64      // ghost-cell strip inside the arena
+	sweepBase uint64      // working-set window base (before AltShift)
+
+	wsBytes        uint64 // total working-set bytes per iteration
+	persistentWS   uint64 // part of the working set in the persistent arena
+	transientBytes uint64 // per-iteration transient arena (dynamic apps)
+	stripBytes     uint64
+	shiftBytes     uint64
+	msgBytes       uint64
+	nMsgs          int
+
+	iter      int
+	transient *mem.Region
+	cursor    uint64 // sweep position within the iteration's spans
+	spans     []span
+}
+
+func newApp(r *Runner, id int) (*app, error) {
+	s := r.Spec
+	a := &app{
+		r:     r,
+		id:    id,
+		rank:  r.World.Rank(id),
+		space: r.spaces[id],
+		rng:   rand.New(rand.NewPCG(r.Cfg.Seed, uint64(id)+1)),
+	}
+	a.wsBytes = uint64(s.WorkingSetMB * MB)
+	a.transientBytes = uint64(s.TransientMB() * MB)
+	// The whole working set lives in persistent memory: the transient
+	// arena is *additional* scratch space, swept while mapped but
+	// dropped by memory exclusion when the allocator releases it. This
+	// is what keeps the per-iteration overwrite fraction (Table 3, at
+	// period-aligned alarms where the arena is already gone) at the
+	// published ~53% while the footprint still oscillates (Table 2).
+	a.persistentWS = a.wsBytes
+	a.stripBytes = uint64(s.CommStripMB * MB)
+	a.shiftBytes = uint64(s.AltShiftMB * MB)
+	if s.CommMB > 0 {
+		a.msgBytes = uint64(s.CommMsgKB * 1024)
+		a.nMsgs = max(1, int(s.CommMB*MB/float64(a.msgBytes)+0.5))
+	}
+
+	// Address-space layout: a small static data segment, then one
+	// persistent arena holding the working-set window (plus its
+	// alternation shift), the ghost strip, and init-only remainder.
+	a.static = a.space.MapData(uint64(s.StaticMB * MB))
+	persistent := uint64(s.PersistentMB()*MB) - a.static.Size()
+	// The 1 MB margin keeps strip writes (and the reduction scalar) away
+	// from the arena end even when a message overhangs the strip.
+	spikeSpan := a.persistentWS + uint64(s.SpikeExtraMB*MB)
+	needed := max(a.persistentWS+a.shiftBytes, spikeSpan) + a.stripBytes + 1<<20
+	if persistent < needed {
+		return nil, fmt.Errorf("workload %s: persistent arena %d B cannot hold ws+shift+strip %d B", s.Name, persistent, needed)
+	}
+	arena, err := a.space.Mmap(persistent)
+	if err != nil {
+		return nil, err
+	}
+	a.arena = arena
+	a.sweepBase = arena.Start()
+	a.stripBase = arena.Start() + max(a.persistentWS+a.shiftBytes, spikeSpan)
+	return a, nil
+}
+
+// startInit sweeps the whole persistent footprint once at the
+// initialization rate (the initial IWS peak of Fig 1a), then joins a
+// barrier and enters the iteration loop.
+func (a *app) startInit() {
+	rate := a.r.Spec.InitRateMBs * MB
+	total := a.static.Size() + a.arena.Size()
+	tick := 50 * des.Millisecond
+	perTick := uint64(rate * tick.Seconds())
+	if perTick == 0 {
+		perTick = total
+	}
+	var pos uint64
+	var step func()
+	step = func() {
+		n := min(perTick, total-pos)
+		a.writeAcross([]span{{a.static.Start(), a.static.Size()}, {a.arena.Start(), a.arena.Size()}}, pos, n)
+		pos += n
+		if pos < total {
+			a.r.Eng.After(tick, step)
+			return
+		}
+		a.rank.Barrier(func() {
+			if a.id == 0 {
+				a.r.iterZero = a.r.Eng.Now()
+			}
+			a.startIteration()
+		})
+	}
+	step()
+}
+
+// writeAcross writes n bytes starting at logical offset pos within the
+// concatenation of the given spans, wrapping around.
+func (a *app) writeAcross(spans []span, pos, n uint64) {
+	var total uint64
+	for _, sp := range spans {
+		total += sp.size
+	}
+	if total == 0 || n == 0 {
+		return
+	}
+	pos %= total
+	for n > 0 {
+		// Locate the span containing pos.
+		rem := pos
+		var sp span
+		for _, cand := range spans {
+			if rem < cand.size {
+				sp = cand
+				break
+			}
+			rem -= cand.size
+		}
+		w := min(n, sp.size-rem)
+		if err := a.space.WriteRange(sp.base+rem, w); err != nil {
+			panic(fmt.Sprintf("workload %s rank %d: sweep write: %v", a.r.Spec.Name, a.id, err))
+		}
+		pos = (pos + w) % total
+		n -= w
+	}
+}
+
+// iterationSpans returns the sweep spans for the current iteration:
+// the (possibly shifted or spike-extended) persistent window plus the
+// transient arena.
+func (a *app) iterationSpans() []span {
+	if a.r.Spec.IsSpike(a.iter) {
+		extended := a.persistentWS + uint64(a.r.Spec.SpikeExtraMB*MB)
+		return []span{{a.sweepBase, extended}}
+	}
+	shift := uint64(0)
+	if a.shiftBytes > 0 && a.iter%2 == 1 {
+		shift = a.shiftBytes
+	}
+	spans := []span{{a.sweepBase + shift, a.persistentWS}}
+	if a.transient != nil {
+		spans = append(spans, span{a.transient.Start(), a.transient.Size()})
+	}
+	return spans
+}
+
+// startIteration runs one bulk-synchronous iteration: processing burst,
+// communication burst, global reduction, repeat.
+func (a *app) startIteration() {
+	s := a.r.Spec
+	eng := a.r.Eng
+	period := s.PeriodAt(a.r.Cfg.Ranks)
+	burst := s.BurstDuration(a.r.Cfg.Ranks)
+	iterStart := eng.Now()
+
+	// Small per-rank jitter on the burst start keeps ranks from being
+	// artificially phase-locked at event granularity.
+	jitter := des.Time(a.rng.Int64N(int64(period/200) + 1))
+
+	// Dynamic applications map their transient arena for the duration
+	// of the processing burst (§4.1: Fortran90 allocates per cycle).
+	if s.Dynamic && a.transientBytes > 0 {
+		eng.After(jitter, func() {
+			t, err := a.space.Mmap(a.transientBytes)
+			if err != nil {
+				panic(fmt.Sprintf("workload %s: transient mmap: %v", s.Name, err))
+			}
+			a.transient = t
+		})
+	}
+
+	// Processing burst: sub-bursts with profiled rates sweep the
+	// working set. The cursor restarts each iteration so coverage is
+	// deterministic.
+	a.cursor = 0
+	meanRate := s.SweepRateBps(a.r.Cfg.Ranks)
+	if s.IsSpike(a.iter) {
+		meanRate = s.SpikeSweeps * (s.WorkingSetMB + s.SpikeExtraMB) * MB / burst.Seconds()
+	}
+	profile := normalize(s.RateProfile)
+	subDur := burst / des.Time(len(profile))
+	tick := subDur / 12
+	if tick > a.r.Cfg.MaxTick {
+		tick = a.r.Cfg.MaxTick
+	}
+	if tick < 100*des.Microsecond {
+		tick = 100 * des.Microsecond
+	}
+	// Temporal locality: each tick also rewrites the whole trailing
+	// dwell window behind the sweep cursor. Re-touching already-dirty
+	// pages is nearly free in the simulation (a bitmap word scan), and
+	// in measurement terms the window contributes a constant DwellMB to
+	// every timeslice's IWS — the hot-inner-array behaviour.
+	dwellBytes := uint64(s.DwellMB * MB)
+	for bi, mult := range profile {
+		rate := meanRate * mult
+		perTick := uint64(rate * tick.Seconds())
+		start := jitter + des.Time(bi)*subDur
+		for off := des.Time(0); off+tick <= subDur; off += tick {
+			eng.After(start+off+tick, func() {
+				spans := a.iterationSpans()
+				a.writeAcross(spans, a.cursor, perTick)
+				a.cursor += perTick
+				if dwellBytes > 0 {
+					var total uint64
+					for _, sp := range spans {
+						total += sp.size
+					}
+					if dwellBytes < total {
+						a.writeAcross(spans, a.cursor+total-dwellBytes, dwellBytes)
+					}
+				}
+			})
+		}
+	}
+
+	// Burst end: drop the transient arena (memory exclusion target).
+	eng.After(jitter+burst, func() {
+		if a.transient != nil {
+			if err := a.space.Munmap(a.transient); err != nil {
+				panic(fmt.Sprintf("workload %s: transient munmap: %v", s.Name, err))
+			}
+			a.transient = nil
+		}
+	})
+
+	// Communication burst: ring exchange with the right neighbour in
+	// clumps spread across the window between burst end and period end.
+	if a.nMsgs > 0 {
+		a.scheduleComm(iterStart, burst, period)
+	}
+
+	// Global reduction at period end synchronises ranks and starts the
+	// next iteration (the paper's codes end iterations with global
+	// convergence checks).
+	eng.Schedule(iterStart+period, func() {
+		a.rank.AllReduce(8, a.stripBase, func() {
+			a.iter++
+			a.startIteration()
+		})
+	})
+}
+
+// scheduleComm posts this iteration's receives and schedules its sends.
+func (a *app) scheduleComm(iterStart des.Time, burst, period des.Time) {
+	s := a.r.Spec
+	eng := a.r.Eng
+	n := a.r.Cfg.Ranks
+	right := (a.id + 1) % n
+	slots := max(1, int(a.stripBytes/a.msgBytes))
+	window := period - burst
+	clumps := max(1, s.CommClumps)
+	perClump := (a.nMsgs + clumps - 1) / clumps
+	// Each clump is compressed into a short sub-window so received data
+	// arrives in bursts (Fig 1b), not as a smear.
+	clumpDur := des.Time(float64(window) * 0.05)
+
+	// Post all receives at burst end; they match sends as they arrive.
+	eng.Schedule(iterStart+burst, func() {
+		for j := 0; j < a.nMsgs; j++ {
+			dest := a.stripBase + uint64(j%slots)*a.msgBytes
+			a.rank.Recv(mpi.AnySource, 0, dest, nil)
+		}
+	})
+	msg := 0
+	for c := 0; c < clumps && msg < a.nMsgs; c++ {
+		clumpStart := burst + des.Time(float64(window)*(float64(c)+0.3)/float64(clumps))
+		for k := 0; k < perClump && msg < a.nMsgs; k++ {
+			at := clumpStart + des.Time(float64(clumpDur)*float64(k)/float64(perClump))
+			eng.Schedule(iterStart+at, func() {
+				a.rank.Send(right, 0, a.msgBytes, nil)
+			})
+			msg++
+		}
+	}
+}
+
+// normalize scales profile entries to mean 1.
+func normalize(profile []float64) []float64 {
+	var sum float64
+	for _, p := range profile {
+		sum += p
+	}
+	mean := sum / float64(len(profile))
+	out := make([]float64, len(profile))
+	for i, p := range profile {
+		out[i] = p / mean
+	}
+	return out
+}
