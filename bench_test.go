@@ -294,6 +294,24 @@ func BenchmarkSelfHealing(b *testing.B) {
 	}
 }
 
+// BenchmarkStorageFaults runs the A14 storage-fault ablation: the
+// supervised run against decaying and dying sinks, single and mirrored.
+func BenchmarkStorageFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.StorageFaultAblation(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var degraded, completed int
+		for _, r := range rows {
+			degraded += r.Degraded
+			completed += r.Completed
+		}
+		b.ReportMetric(float64(completed), "runs_completed")
+		b.ReportMetric(float64(degraded), "degraded_recoveries")
+	}
+}
+
 // BenchmarkEfficiency regenerates the A2 extension (machine efficiency
 // under failures vs checkpoint interval).
 func BenchmarkEfficiency(b *testing.B) {

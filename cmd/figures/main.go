@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	flag.Parse()
@@ -148,6 +148,15 @@ func main() {
 		}
 		fmt.Println("Live migration of Sage-1000MB over QsNet, by trigger phase (§6.2, §7)")
 		fmt.Print(experiments.FormatMigration(rows))
+		fmt.Println()
+	}
+	if *fig == "faults" || *fig == "all" {
+		rows, err := experiments.StorageFaultAblation(nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: storage-tier faults vs the hardening stack (A14), supervised Jacobi, 4 ranks")
+		fmt.Print(experiments.FormatFaults(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

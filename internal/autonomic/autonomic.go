@@ -104,6 +104,12 @@ type Config struct {
 	RestartOverhead des.Time
 	// Sink models stable storage (zero → SCSI).
 	Sink storage.Model
+	// Store overrides the stable-storage backend (nil → a fresh
+	// in-memory store). Stack the hardening wrappers — per-replica
+	// storage.IntegrityStore + storage.ResilientStore under a
+	// storage.MirrorStore — to run the supervisor against a storage
+	// tier that tears writes, rots at rest, drops requests, or dies.
+	Store storage.Store
 	// Seed drives failure times deterministically.
 	Seed uint64
 	// MaxFailures aborts pathological runs (0 → 1000).
@@ -165,6 +171,15 @@ type Report struct {
 	Iterations int
 	// Failures injected and recoveries performed (equal on success).
 	Failures, Recoveries int
+	// DegradedRecoveries counts recoveries that could not use the
+	// newest consistent line — its segments were torn, corrupt or
+	// unreadable — and fell back to an earlier verified line (or to a
+	// scratch restart when no line survived verification).
+	DegradedRecoveries int
+	// CheckpointFailures counts coordinated checkpoints the storage
+	// tier refused; the run continues without that line and the next
+	// checkpoint re-bases a fresh chain.
+	CheckpointFailures int
 	// LostIterations is the work rolled back across all failures.
 	LostIterations int
 	// Elapsed is the end-to-end virtual time; Ideal is the failure- and
@@ -195,7 +210,8 @@ type Supervisor struct {
 	rng   *rand.Rand
 
 	cur          *team
-	lastLineIter int // iteration the latest consistent line corresponds to
+	lastLineIter int            // iteration of the line a recovery would target
+	lineIter     map[uint64]int // committed line seq → iteration it captured
 	nextSeq      uint64
 	report       Report
 	failed       error
@@ -208,11 +224,16 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	store := cfg.Store
+	if store == nil {
+		store = storage.NewMemStore()
+	}
 	s := &Supervisor{
-		cfg:   cfg,
-		eng:   des.NewEngine(),
-		store: storage.NewMemStore(),
-		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
+		cfg:      cfg,
+		eng:      des.NewEngine(),
+		store:    store,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
+		lineIter: make(map[uint64]int),
 	}
 	t, err := s.buildTeam(nil, 0)
 	if err != nil {
@@ -292,11 +313,21 @@ func (s *Supervisor) startTeam() {
 		// stop-and-copy commit before resuming.
 		g, err := t.co.GlobalCheckpoint()
 		if err != nil {
-			s.fail(err)
+			// The storage tier refused the line. The computation is
+			// unharmed — realign the checkpointers (ranks that
+			// persisted before the error are ahead of ranks after it,
+			// and consumed dirty sets force a full re-base) and keep
+			// iterating without this line. The cost shows up as extra
+			// rollback distance if a failure lands before the next
+			// line commits.
+			s.report.CheckpointFailures++
+			s.nextSeq = t.co.Resync()
+			next()
 			return
 		}
 		s.nextSeq = g.PerRank[0].Seq + 1
 		s.lastLineIter = iter
+		s.lineIter[g.PerRank[0].Seq] = iter
 		s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
 		s.report.CommitTime += g.MaxDuration
 		s.eng.After(g.MaxDuration, next)
@@ -345,7 +376,7 @@ func (s *Supervisor) onFailure() {
 	}
 	s.report.Failures++
 	t := s.cur
-	s.report.LostIterations += t.d.Iter() - s.lastLineIter
+	failIter := t.d.Iter()
 	// The node is gone: abandon the incarnation. Pending events against
 	// it become no-ops; its address spaces are garbage.
 	t.d.Stop()
@@ -354,47 +385,78 @@ func (s *Supervisor) onFailure() {
 	}
 	s.cur = nil
 
-	// Downtime: fixed overhead plus reading the recovery chain.
-	line, ok, err := ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
+	// Snapshot what the key space *claims* is the newest line before
+	// touching any data: a recovery is degraded when the line actually
+	// used falls short of this claim.
+	best, okBest, err := ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
 	if err != nil {
 		s.fail(err)
 		return
 	}
-	downtime := s.cfg.RestartOverhead
-	if ok {
+	spaces, line, ok, readTime := s.selectAndRestore()
+	if s.failed != nil {
+		return
+	}
+	if okBest && (!ok || line < best) {
+		s.report.DegradedRecoveries++
+	}
+	downtime := s.cfg.RestartOverhead + readTime
+	s.eng.After(downtime, func() { s.recover(spaces, line, ok, failIter) })
+}
+
+// selectAndRestore finds the newest recovery line the storage tier can
+// prove — every rank's chain fetched, integrity-checked and decoded —
+// and restores it. Verification races ongoing sink decay (a replica's
+// op-countdown outage can land between proving a line and reading it
+// back), so a read failure re-verifies against the shifted world and
+// falls down to the next surviving line instead of aborting the run.
+// Returns nil spaces when no line survives (scratch restart), plus the
+// virtual time the winning chain read costs.
+func (s *Supervisor) selectAndRestore() (spaces []*mem.AddressSpace, line uint64, ok bool, readTime des.Time) {
+	for attempt := 0; attempt <= len(s.lineIter)+1; attempt++ {
+		var err error
+		line, ok, err = ckpt.LatestVerifiableSeq(s.store, s.cfg.Ranks)
+		if err != nil {
+			s.fail(err)
+			return nil, 0, false, 0
+		}
+		if !ok {
+			return nil, 0, false, 0
+		}
 		var chain uint64
 		for r := 0; r < s.cfg.Ranks; r++ {
 			v, err := ckpt.ChainVolume(s.store, r, line)
 			if err != nil {
-				s.fail(err)
-				return
+				chain = 0
+				break
 			}
 			chain += v
 		}
-		downtime += s.cfg.Sink.WriteTime(chain) // read ≈ write bandwidth
+		if chain == 0 {
+			continue // line decayed under us: re-verify
+		}
+		spaces, err = ckpt.RestoreAll(s.store, s.cfg.Ranks, line)
+		if err != nil {
+			continue
+		}
+		return spaces, line, true, s.cfg.Sink.WriteTime(chain) // read ≈ write bandwidth
 	}
-	s.eng.After(downtime, func() { s.recover(line, ok) })
+	// Every candidate decayed faster than we could read it.
+	return nil, 0, false, 0
 }
 
-// recover rebuilds the team from the last consistent line (or from
-// scratch when no checkpoint ever committed).
-func (s *Supervisor) recover(line uint64, haveLine bool) {
+// recover rebuilds the team around the restored spaces (nil → scratch
+// restart when no verifiable checkpoint survived).
+func (s *Supervisor) recover(spaces []*mem.AddressSpace, line uint64, haveLine bool, failIter int) {
 	if s.report.Completed || s.failed != nil {
 		return
 	}
-	var spaces []*mem.AddressSpace
 	startIter := 0
 	if haveLine {
-		var err error
-		spaces, err = ckpt.RestoreAll(s.store, s.cfg.Ranks, line)
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		startIter = s.lastLineIter
-	} else {
-		s.lastLineIter = 0
+		startIter = s.lineIter[line]
 	}
+	s.lastLineIter = startIter
+	s.report.LostIterations += failIter - startIter
 	t, err := s.buildTeam(spaces, startIter)
 	if err != nil {
 		s.fail(err)

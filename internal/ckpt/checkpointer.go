@@ -184,6 +184,17 @@ func (c *Checkpointer) Stats() Stats { return c.stats }
 // Seq returns the next segment sequence number.
 func (c *Checkpointer) Seq() uint64 { return c.seq }
 
+// Rebase realigns the checkpointer after a failed persist: the next
+// checkpoint is written at seq and is forced full, basing a fresh
+// self-contained chain. A Checkpoint that failed at the store has
+// already consumed its dirty set, so continuing incrementally would
+// silently drop pages from the chain — re-basing is the only safe
+// resumption.
+func (c *Checkpointer) Rebase(seq uint64) {
+	c.seq = seq
+	c.took = false
+}
+
 func (c *Checkpointer) protectAll() {
 	for _, r := range c.space.Regions() {
 		if r.Kind().Checkpointable() && !c.excluded[r] {

@@ -77,6 +77,26 @@ func (co *Coordinator) GlobalCheckpoint() (GlobalResult, error) {
 	return g, nil
 }
 
+// Resync realigns every rank after a partially failed global
+// checkpoint: ranks that persisted before the failure have advanced
+// their sequence, ranks after it have not, and any rank may hold a
+// consumed dirty set. Resync moves all ranks to a common next sequence
+// (the maximum across ranks) and forces their next checkpoint full, so
+// the next global checkpoint bases a clean coordinated line. It returns
+// that common sequence number.
+func (co *Coordinator) Resync() uint64 {
+	var next uint64
+	for _, c := range co.cps {
+		if c.Seq() > next {
+			next = c.Seq()
+		}
+	}
+	for _, c := range co.cps {
+		c.Rebase(next)
+	}
+	return next
+}
+
 // StartInterval triggers a global checkpoint every interval of virtual
 // time — the fixed checkpoint-timeslice policy.
 func (co *Coordinator) StartInterval(interval des.Time) {

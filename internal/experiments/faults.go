@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autonomic"
+	"repro/internal/des"
+	"repro/internal/storage"
+)
+
+// A14: storage-fault ablation. The paper's feasibility argument assumes
+// stable storage actually is stable; this experiment drops that
+// assumption and measures what each hardening layer buys. A supervised
+// distributed run (the A11 loop) executes against storage tiers that
+// drop requests, tear writes, rot at rest and lose whole devices —
+// alone and mirrored — and the rows report whether the run still
+// finishes bit-exact, at what efficiency, and how hard the resilience
+// machinery had to work.
+
+// FaultRow is one storage configuration of the A14 ablation,
+// aggregated over the seed sweep.
+type FaultRow struct {
+	// Scenario names the fault profile; Replicas is the mirror width
+	// (1 = single sink).
+	Scenario string
+	Replicas int
+	// Runs and Completed count the seed sweep; a run that dies (sink
+	// unreachable, failure budget exhausted) is counted but not
+	// completed.
+	Runs, Completed int
+	// BitExact reports whether every completed run reproduced the
+	// failure-free reference checksum.
+	BitExact bool
+	// MeanEfficiency averages end-to-end efficiency over completed runs.
+	MeanEfficiency float64
+	// Recoveries, Degraded and CkptFailures sum the supervisor's
+	// accounting over completed runs: node-failure recoveries, the
+	// subset that fell back past the newest consistent line, and
+	// coordinated checkpoints the storage tier refused.
+	Recoveries, Degraded, CkptFailures int
+	// Retries, Failovers and Repairs sum the storage-tier work:
+	// transient retries absorbed, reads served by a non-primary
+	// replica, and read-repairs written back.
+	Retries, Failovers, Repairs uint64
+}
+
+// faultScenario is one storage configuration under test.
+type faultScenario struct {
+	name string
+	// replicas is the mirror width.
+	replicas int
+	// decay is the fault profile of every replica (seeded per replica).
+	decay storage.FaultConfig
+	// outageOps, when positive, kills replica 0 permanently after that
+	// many operations.
+	outageOps int
+}
+
+// faultScenarios returns the A14 grid: each fault class alone and
+// mirrored, plus the clean baseline and the kitchen-sink stack.
+func faultScenarios() []faultScenario {
+	decay := storage.FaultConfig{TransientRate: 0.08, TornWriteRate: 0.05, CorruptRate: 0.05}
+	return []faultScenario{
+		{name: "clean", replicas: 1},
+		{name: "transient", replicas: 1, decay: storage.FaultConfig{TransientRate: 0.15}},
+		{name: "decay", replicas: 1, decay: decay},
+		{name: "decay", replicas: 2, decay: decay},
+		{name: "outage", replicas: 1, outageOps: 60},
+		{name: "outage+decay", replicas: 2, decay: decay, outageOps: 60},
+	}
+}
+
+// hardenedStack builds one scenario's storage tier: per replica
+// Resilient(Integrity(Faulty(Mem))), mirrored when replicas > 1. It
+// returns the assembled store plus the wrapper handles for counters.
+func hardenedStack(sc faultScenario, seed uint64) (storage.Store, []*storage.ResilientStore, *storage.MirrorStore, error) {
+	var tops []*storage.ResilientStore
+	var stores []storage.Store
+	for i := 0; i < sc.replicas; i++ {
+		cfg := sc.decay
+		cfg.Seed = seed*97 + uint64(i)
+		if i == 0 && sc.outageOps > 0 {
+			// The dying replica is otherwise clean: its loss, not its
+			// decay, is the injected fault.
+			cfg = storage.FaultConfig{Seed: cfg.Seed, OutageAfterOps: sc.outageOps}
+		}
+		r := storage.NewResilientStore(
+			storage.NewIntegrityStore(
+				storage.NewFaultyStore(storage.NewMemStore(), cfg)),
+			storage.DefaultRetryPolicy())
+		tops = append(tops, r)
+		stores = append(stores, r)
+	}
+	if sc.replicas == 1 {
+		return tops[0], tops, nil, nil
+	}
+	m, err := storage.NewMirrorStore(stores...)
+	return m, tops, m, err
+}
+
+// faultBaseConfig is the supervised run every scenario repeats: small
+// enough to sweep, long enough for several node failures.
+func faultBaseConfig() autonomic.Config {
+	return autonomic.Config{
+		Ranks:           4,
+		Nx:              32,
+		RowsPerRank:     8,
+		Boundary:        9,
+		Iterations:      40,
+		CkptEvery:       5,
+		ComputeTime:     200 * des.Millisecond,
+		MTBF:            3 * des.Second,
+		RestartOverhead: 500 * des.Millisecond,
+	}
+}
+
+// StorageFaultAblation runs the A14 grid over the given failure seeds
+// (nil → a default sweep of three).
+func StorageFaultAblation(seeds []uint64) ([]FaultRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{3, 5, 9}
+	}
+	// Ground truth: same computation, no failures, pristine store.
+	clean := faultBaseConfig()
+	clean.MTBF = 0
+	ref, err := autonomic.Run(clean)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FaultRow
+	for _, sc := range faultScenarios() {
+		row := FaultRow{Scenario: sc.name, Replicas: sc.replicas, BitExact: true}
+		var effSum float64
+		for _, seed := range seeds {
+			store, tops, mirror, err := hardenedStack(sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := faultBaseConfig()
+			cfg.Seed = seed
+			cfg.Store = store
+			row.Runs++
+			rep, err := autonomic.Run(cfg)
+			for _, t := range tops {
+				row.Retries += t.Stats().Retries
+			}
+			if mirror != nil {
+				st := mirror.Stats()
+				row.Failovers += uint64(st.FailoverReads)
+				row.Repairs += uint64(st.ReadRepairs)
+			}
+			if err != nil || !rep.Completed {
+				// The storage tier won: an unmirrored outage (or an
+				// exhausted failure budget) is a legitimate outcome,
+				// recorded rather than masked.
+				continue
+			}
+			row.Completed++
+			effSum += rep.Efficiency
+			row.Recoveries += rep.Recoveries
+			row.Degraded += rep.DegradedRecoveries
+			row.CkptFailures += rep.CheckpointFailures
+			if rep.Checksum != ref.Checksum {
+				row.BitExact = false
+			}
+		}
+		if row.Completed > 0 {
+			row.MeanEfficiency = effSum / float64(row.Completed)
+		} else {
+			row.BitExact = false
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFaults renders the A14 rows as a text table.
+func FormatFaults(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %4s %6s %6s %6s %6s %6s %6s %8s %6s %6s\n",
+		"scenario", "reps", "done", "exact", "eff%", "recov", "degr", "ckfail", "retries", "failov", "repair")
+	for _, r := range rows {
+		exact := "no"
+		if r.BitExact {
+			exact = "yes"
+		}
+		fmt.Fprintf(&b, "%-14s %4d %4d/%-2d %6s %6.1f %6d %6d %6d %8d %6d %6d\n",
+			r.Scenario, r.Replicas, r.Completed, r.Runs, exact,
+			r.MeanEfficiency*100, r.Recoveries, r.Degraded, r.CkptFailures,
+			r.Retries, r.Failovers, r.Repairs)
+	}
+	return b.String()
+}

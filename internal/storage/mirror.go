@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MirrorStats counts the degraded-mode work a MirrorStore performed.
+type MirrorStats struct {
+	// DegradedPuts counts writes that missed at least one replica (but
+	// landed on at least one).
+	DegradedPuts uint64
+	// LostPuts counts writes that landed on no replica at all.
+	LostPuts uint64
+	// FailoverReads counts Gets served by a non-primary replica after
+	// one or more replicas failed or returned corrupt data.
+	FailoverReads uint64
+	// ReadRepairs counts replicas healed by writing back a value another
+	// replica served.
+	ReadRepairs uint64
+}
+
+// MirrorStore replicates segments across N sinks — the diskless-peer
+// lineage of Plank et al. [19], as an actual mechanism rather than a
+// bandwidth model. Puts go to every replica and succeed if at least one
+// lands; Gets fail over across replicas in order and repair replicas
+// that were missing or corrupt with the value a healthy replica served.
+// Stack an IntegrityStore *inside* each replica so the mirror can tell a
+// corrupt copy from a good one.
+type MirrorStore struct {
+	mu       sync.Mutex
+	replicas []Store
+	stats    MirrorStats
+}
+
+// NewMirrorStore mirrors across the given replicas (at least one).
+func NewMirrorStore(replicas ...Store) (*MirrorStore, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("storage: mirror needs at least one replica")
+	}
+	return &MirrorStore{replicas: replicas}, nil
+}
+
+// Stats returns a copy of the degraded-mode counters.
+func (s *MirrorStore) Stats() MirrorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Replicas returns the replica count.
+func (s *MirrorStore) Replicas() int { return len(s.replicas) }
+
+// Put implements Store: write everywhere, succeed if anywhere.
+func (s *MirrorStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for _, r := range s.replicas {
+		if err := r.Put(key, data); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	switch {
+	case len(errs) == len(s.replicas):
+		s.stats.LostPuts++
+		return fmt.Errorf("storage: mirror put %q lost on all %d replicas: %w", key, len(s.replicas), errors.Join(errs...))
+	case len(errs) > 0:
+		s.stats.DegradedPuts++
+	}
+	return nil
+}
+
+// Get implements Store: read the first healthy replica, repairing the
+// ones that were missing or served corrupt bytes.
+func (s *MirrorStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	var failed []Store
+	for _, r := range s.replicas {
+		data, err := r.Get(key)
+		if err != nil {
+			errs = append(errs, err)
+			// A missing or corrupt copy is repairable; a transient or
+			// down replica is not (writing to it would fail too).
+			if errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) {
+				failed = append(failed, r)
+			}
+			continue
+		}
+		if len(errs) > 0 {
+			s.stats.FailoverReads++
+		}
+		for _, bad := range failed {
+			if bad.Put(key, data) == nil {
+				s.stats.ReadRepairs++
+			}
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("storage: mirror get %q failed on all %d replicas: %w", key, len(s.replicas), errors.Join(errs...))
+}
+
+// Delete implements Store: remove everywhere. Replicas that never had
+// the key do not fail the delete; the key must have existed somewhere.
+func (s *MirrorStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	deleted, missing := 0, 0
+	for _, r := range s.replicas {
+		switch err := r.Delete(key); {
+		case err == nil:
+			deleted++
+		case errors.Is(err, ErrNotFound):
+			missing++
+		default:
+			errs = append(errs, err)
+		}
+	}
+	switch {
+	case deleted > 0:
+		return nil
+	case missing > 0:
+		// Every reachable replica says the key does not exist.
+		return fmt.Errorf("mirror delete %q: %w", key, ErrNotFound)
+	default:
+		return fmt.Errorf("storage: mirror delete %q failed: %w", key, errors.Join(errs...))
+	}
+}
+
+// Keys implements Store: the union over reachable replicas (a key is
+// readable if any replica holds it).
+func (s *MirrorStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	union := make(map[string]bool)
+	var errs []error
+	reachable := 0
+	for _, r := range s.replicas {
+		keys, err := r.Keys()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		reachable++
+		for _, k := range keys {
+			union[k] = true
+		}
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("storage: mirror keys failed on all replicas: %w", errors.Join(errs...))
+	}
+	out := make([]string, 0, len(union))
+	for k := range union {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size implements Store: the largest replica's footprint — the logical
+// volume one full copy of the data occupies.
+func (s *MirrorStore) Size() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best uint64
+	var errs []error
+	reachable := 0
+	for _, r := range s.replicas {
+		n, err := r.Size()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		reachable++
+		if n > best {
+			best = n
+		}
+	}
+	if reachable == 0 {
+		return 0, fmt.Errorf("storage: mirror size failed on all replicas: %w", errors.Join(errs...))
+	}
+	return best, nil
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/des"
+)
+
+// RetryPolicy bounds the retry loop of a ResilientStore.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation (>= 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay des.Time
+	// MaxDelay caps the exponential growth.
+	MaxDelay des.Time
+	// Seed drives the jitter stream deterministically.
+	Seed uint64
+}
+
+// DefaultRetryPolicy returns the policy used when the zero value is
+// given: 5 attempts, 1 ms base, 100 ms cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: des.Millisecond, MaxDelay: 100 * des.Millisecond}
+}
+
+// RetryStats counts the retry work a ResilientStore performed.
+type RetryStats struct {
+	// Ops is the number of operations issued through the store.
+	Ops uint64
+	// Retries is the number of re-issued attempts (first attempts are
+	// not counted).
+	Retries uint64
+	// Exhausted counts operations that failed even after the full
+	// attempt budget.
+	Exhausted uint64
+	// Backoff is the total virtual time spent waiting between attempts —
+	// the latency cost of riding out transient faults, chargeable to a
+	// recovery timeline.
+	Backoff des.Time
+}
+
+// ResilientStore wraps a Store with bounded retries: transient failures
+// (per IsTransient) are re-issued after capped exponential backoff with
+// deterministic jitter; permanent failures — not-found, corruption,
+// outage — return immediately. Backoff is accounted in virtual time via
+// Stats().Backoff rather than by sleeping: the simulation's clock owner
+// decides what that latency costs.
+type ResilientStore struct {
+	mu     sync.Mutex
+	inner  Store
+	policy RetryPolicy
+	rng    *rand.Rand
+	stats  RetryStats
+}
+
+// NewResilientStore wraps inner with the given policy (zero value →
+// DefaultRetryPolicy).
+func NewResilientStore(inner Store, policy RetryPolicy) *ResilientStore {
+	if policy.MaxAttempts == 0 {
+		def := DefaultRetryPolicy()
+		def.Seed = policy.Seed
+		policy = def
+	}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	if policy.MaxDelay < policy.BaseDelay {
+		policy.MaxDelay = policy.BaseDelay
+	}
+	return &ResilientStore{
+		inner:  inner,
+		policy: policy,
+		rng:    rand.New(rand.NewPCG(policy.Seed, 0xB0FF)),
+	}
+}
+
+// Stats returns a copy of the retry counters.
+func (s *ResilientStore) Stats() RetryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// do runs op under the retry loop.
+func (s *ResilientStore) do(what, key string, op func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Ops++
+	delay := s.policy.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= s.policy.MaxAttempts {
+			s.stats.Exhausted++
+			return fmt.Errorf("storage: %s %q failed after %d attempts: %w", what, key, attempt, err)
+		}
+		// Full jitter over the current window keeps concurrent retriers
+		// from synchronising, deterministically per seed.
+		s.stats.Backoff += des.Time(s.rng.Int64N(int64(delay) + 1))
+		s.stats.Retries++
+		if delay *= 2; delay > s.policy.MaxDelay {
+			delay = s.policy.MaxDelay
+		}
+	}
+}
+
+// Put implements Store.
+func (s *ResilientStore) Put(key string, data []byte) error {
+	return s.do("put", key, func() error { return s.inner.Put(key, data) })
+}
+
+// Get implements Store.
+func (s *ResilientStore) Get(key string) ([]byte, error) {
+	var out []byte
+	err := s.do("get", key, func() error {
+		var err error
+		out, err = s.inner.Get(key)
+		return err
+	})
+	return out, err
+}
+
+// Delete implements Store.
+func (s *ResilientStore) Delete(key string) error {
+	return s.do("delete", key, func() error { return s.inner.Delete(key) })
+}
+
+// Keys implements Store.
+func (s *ResilientStore) Keys() ([]string, error) {
+	var out []string
+	err := s.do("keys", "*", func() error {
+		var err error
+		out, err = s.inner.Keys()
+		return err
+	})
+	return out, err
+}
+
+// Size implements Store.
+func (s *ResilientStore) Size() (uint64, error) {
+	var out uint64
+	err := s.do("size", "*", func() error {
+		var err error
+		out, err = s.inner.Size()
+		return err
+	})
+	return out, err
+}

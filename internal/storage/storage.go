@@ -5,6 +5,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,6 +15,32 @@ import (
 
 	"repro/internal/des"
 )
+
+// Sentinel errors of the storage tier. Concrete stores and wrappers
+// return these wrapped with context, so callers classify failures with
+// errors.Is instead of string matching.
+var (
+	// ErrNotFound reports a Get or Delete of a key that is not stored.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrCorrupt reports data that failed an integrity check — the bytes
+	// came back, but they are not the bytes that were put. Retrying the
+	// same replica cannot help; a mirror can.
+	ErrCorrupt = errors.New("storage: data corrupt")
+	// ErrUnavailable reports a sink that is down for good (device died,
+	// partner node lost). Retrying cannot help; failover can.
+	ErrUnavailable = errors.New("storage: sink unavailable")
+	// ErrTransient marks failures worth retrying: dropped requests,
+	// timeouts, momentary contention. Injected faults and real stores
+	// wrap this so ResilientStore knows an operation may be re-issued.
+	ErrTransient = errors.New("storage: transient failure")
+)
+
+// IsTransient reports whether err is worth retrying against the same
+// store. Everything not explicitly marked transient — not-found,
+// corruption, permanent outage, unknown failures — is permanent.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient)
+}
 
 // Model is the bandwidth/latency cost model of a checkpoint sink.
 type Model struct {
@@ -70,9 +97,11 @@ func (m Model) Headroom(requiredBps float64) float64 {
 type Store interface {
 	// Put stores data under key, replacing any previous value.
 	Put(key string, data []byte) error
-	// Get retrieves the data stored under key.
+	// Get retrieves the data stored under key. A missing key reports
+	// ErrNotFound (wrapped).
 	Get(key string) ([]byte, error)
-	// Delete removes key. Deleting a missing key is an error.
+	// Delete removes key. Deleting a missing key reports ErrNotFound
+	// (wrapped).
 	Delete(key string) error
 	// Keys returns all stored keys in sorted order.
 	Keys() ([]string, error)
@@ -107,7 +136,7 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 	defer s.mu.RUnlock()
 	d, ok := s.m[key]
 	if !ok {
-		return nil, fmt.Errorf("storage: key %q not found", key)
+		return nil, fmt.Errorf("key %q: %w", key, ErrNotFound)
 	}
 	cp := make([]byte, len(d))
 	copy(cp, d)
@@ -119,7 +148,7 @@ func (s *MemStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.m[key]; !ok {
-		return fmt.Errorf("storage: key %q not found", key)
+		return fmt.Errorf("key %q: %w", key, ErrNotFound)
 	}
 	delete(s.m, key)
 	return nil
@@ -169,20 +198,45 @@ func (s *FileStore) path(key string) (string, error) {
 	return filepath.Join(s.dir, filepath.FromSlash(key)), nil
 }
 
-// Put implements Store.
+// Put implements Store. The write is crash-atomic: data goes to a
+// uniquely named temp file in the destination directory, is flushed to
+// the device, and is then renamed over the key — readers see either the
+// old value or the complete new one, never a torn file (the failure the
+// fault injector models; a real crashed writer must not produce it).
 func (s *FileStore) Put(key string, data []byte) error {
 	p, err := s.path(key)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	f, err := os.CreateTemp(dir, filepath.Base(p)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: key %q: %w", key, err)
 	}
-	return os.Rename(tmp, p)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: key %q: %w", key, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: key %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: key %q: %w", key, err)
+	}
+	return nil
 }
 
 // Get implements Store.
@@ -192,6 +246,9 @@ func (s *FileStore) Get(key string) ([]byte, error) {
 		return nil, err
 	}
 	d, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("key %q: %w", key, ErrNotFound)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("storage: key %q: %w", key, err)
 	}
@@ -204,7 +261,9 @@ func (s *FileStore) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil {
+	if err := os.Remove(p); errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("key %q: %w", key, ErrNotFound)
+	} else if err != nil {
 		return fmt.Errorf("storage: key %q: %w", key, err)
 	}
 	return nil
@@ -217,7 +276,7 @@ func (s *FileStore) Keys() ([]string, error) {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+		if d.IsDir() || strings.Contains(filepath.Base(p), ".tmp") {
 			return nil
 		}
 		rel, err := filepath.Rel(s.dir, p)
@@ -241,7 +300,7 @@ func (s *FileStore) Size() (uint64, error) {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+		if d.IsDir() || strings.Contains(filepath.Base(p), ".tmp") {
 			return nil
 		}
 		info, err := d.Info()

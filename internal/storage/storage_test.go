@@ -2,8 +2,12 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -84,14 +88,14 @@ func storeSuite(t *testing.T, s Store) {
 	if err := s.Delete("a/2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("a/2"); err == nil {
-		t.Fatal("double delete succeeded")
+	if err := s.Delete("a/2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Get("a/2"); err == nil {
-		t.Fatal("Get after delete succeeded")
+	if _, err := s.Get("a/2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Get("missing"); err == nil {
-		t.Fatal("Get missing succeeded")
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing err = %v, want ErrNotFound", err)
 	}
 }
 
@@ -113,6 +117,45 @@ func TestFileStoreInvalidKeys(t *testing.T) {
 		if err := fs.Put(key, []byte("x")); err == nil {
 			t.Errorf("key %q accepted", key)
 		}
+	}
+}
+
+// TestFileStorePutAtomicity: Put must leave no temp residue, and a
+// half-written temp file must never shadow or appear alongside real
+// keys.
+func TestFileStorePutAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fs.Put("r/seg", bytes.Repeat([]byte{byte(i)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a writer that crashed mid-Put, leaving a temp file.
+	if err := os.WriteFile(filepath.Join(dir, "r", "seg.tmp12345"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := fs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.Contains(k, ".tmp") {
+			t.Fatalf("temp residue leaked into Keys: %v", keys)
+		}
+	}
+	if len(keys) != 1 || keys[0] != "r/seg" {
+		t.Fatalf("Keys = %v, want [r/seg]", keys)
+	}
+	if n, err := fs.Size(); err != nil || n != 1024 {
+		t.Fatalf("Size = %d, %v — temp residue counted?", n, err)
+	}
+	got, err := fs.Get("r/seg")
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{9}, 1024)) {
+		t.Fatalf("final value wrong: %v", err)
 	}
 }
 
