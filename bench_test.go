@@ -326,3 +326,65 @@ func BenchmarkEfficiency(b *testing.B) {
 		b.ReportMetric(res.DalyS, "daly_interval_s")
 	}
 }
+
+// BenchmarkHeartbeatOverhead measures what gossip failure detection
+// costs an otherwise failure-free run: the same supervised computation
+// with and without heartbeats, reporting the efficiency delta and the
+// detector's virtual message load folded into elapsed time.
+func BenchmarkHeartbeatOverhead(b *testing.B) {
+	base := autonomic.Config{
+		Ranks: 8, Nx: 64, RowsPerRank: 16, Boundary: 100,
+		Iterations: 40, CkptEvery: 5,
+		ComputeTime: 250 * des.Millisecond,
+		Seed:        11,
+	}
+	for i := 0; i < b.N; i++ {
+		plain, err := autonomic.Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withHB := base
+		withHB.HeartbeatPeriod = 20 * des.Millisecond
+		hb, err := autonomic.Run(withHB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plain.Checksum != hb.Checksum {
+			b.Fatal("heartbeats perturbed the computation")
+		}
+		b.ReportMetric(hb.Efficiency*100, "efficiency_with_hb_pct")
+		b.ReportMetric((plain.Efficiency-hb.Efficiency)*100, "hb_overhead_pct_points")
+	}
+}
+
+// BenchmarkTwoPhaseCommit measures the prepare/commit protocol against
+// plain coordinated checkpointing on the identical failure schedule:
+// the extra commit latency paid per line and the aborted rounds that
+// bought mid-checkpoint safety.
+func BenchmarkTwoPhaseCommit(b *testing.B) {
+	base := autonomic.Config{
+		Ranks: 8, Nx: 64, RowsPerRank: 16, Boundary: 100,
+		Iterations: 40, CkptEvery: 5,
+		ComputeTime: 250 * des.Millisecond,
+		MTBF:        4 * des.Second, RestartOverhead: des.Second,
+		Seed: 11,
+	}
+	for i := 0; i < b.N; i++ {
+		plain, err := autonomic.Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tpc := base
+		tpc.TwoPhaseCommit = true
+		rep, err := autonomic.Run(tpc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Completed || rep.Checksum != plain.Checksum {
+			b.Fatal("two-phase run diverged")
+		}
+		b.ReportMetric(rep.CommitTime.Seconds(), "commit_time_s")
+		b.ReportMetric(float64(rep.AbortedCommits), "aborted_commits")
+		b.ReportMetric(rep.Efficiency*100, "efficiency_pct")
+	}
+}

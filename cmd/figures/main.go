@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	flag.Parse()
@@ -157,6 +157,15 @@ func main() {
 		}
 		fmt.Println("Ablation: storage-tier faults vs the hardening stack (A14), supervised Jacobi, 4 ranks")
 		fmt.Print(experiments.FormatFaults(rows))
+		fmt.Println()
+	}
+	if *fig == "cluster" || *fig == "all" {
+		rows, err := experiments.FaultyClusterAblation(nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: cluster faults — flaky interconnect, heartbeat detection, two-phase commit (A15)")
+		fmt.Print(experiments.FormatCluster(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

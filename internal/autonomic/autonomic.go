@@ -12,10 +12,12 @@
 package autonomic
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/ckpt"
+	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/kernels"
 	"repro/internal/mem"
@@ -114,6 +116,32 @@ type Config struct {
 	Seed uint64
 	// MaxFailures aborts pathological runs (0 → 1000).
 	MaxFailures int
+
+	// NetFaults, when non-nil, runs the team over a flaky interconnect:
+	// per-link drop and duplication, delay jitter, and degradation
+	// windows, all seeded and deterministic (see mpi.NetFaultConfig).
+	NetFaults *mpi.NetFaultConfig
+	// HeartbeatPeriod, when > 0 (and Ranks > 1), runs a gossip-style
+	// heartbeat failure detector over the (possibly flaky) interconnect.
+	// Failures are then *detected* rather than observed instantly: the
+	// measured detection latency of each failure is added to its
+	// downtime and recorded in the report. With the detector off, the
+	// supervisor notices failures immediately — the paper's idealised
+	// constant-overhead assumption.
+	HeartbeatPeriod des.Time
+	// HeartbeatTimeout declares a peer dead after this much heartbeat
+	// silence (0 → 4×HeartbeatPeriod).
+	HeartbeatTimeout des.Time
+	// TwoPhaseCommit switches coordinated checkpoints to the
+	// prepare/commit protocol: ranks write segments in the prepare
+	// phase and a per-line COMMIT marker is written only after every
+	// rank's sink write acks. Recovery then trusts only committed
+	// lines, so a mid-checkpoint failure can never surface a line the
+	// key space merely advertises.
+	TwoPhaseCommit bool
+	// CommitTimeout aborts a two-phase round whose acks straggle past
+	// this guard (0 disables; only meaningful with TwoPhaseCommit).
+	CommitTimeout des.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +178,9 @@ func (c Config) withDefaults() Config {
 			Boundary: c.Boundary, ComputeTime: c.ComputeTime,
 		}
 	}
+	if c.HeartbeatPeriod > 0 && c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatPeriod
+	}
 	return c
 }
 
@@ -180,6 +211,20 @@ type Report struct {
 	// tier refused; the run continues without that line and the next
 	// checkpoint re-bases a fresh chain.
 	CheckpointFailures int
+	// AbortedCommits counts two-phase rounds rolled back *after* a
+	// successful prepare — a rank death inside the commit window, a
+	// straggler timeout, or a refused COMMIT-marker write. Distinct
+	// from CheckpointFailures (prepare-phase storage refusals): an
+	// aborted commit had already paid the sink writes and deleted them.
+	AbortedCommits int
+	// DetectionLatencies holds, per heartbeat-detected failure, the
+	// measured virtual time between the death and a survivor declaring
+	// it — a distribution, because heartbeat loss on a flaky network
+	// stretches individual detections past the timeout.
+	DetectionLatencies []des.Time
+	// FalseSuspicions counts heartbeat silences that crossed the
+	// timeout for a peer that was in fact alive (loss-induced).
+	FalseSuspicions int
 	// LostIterations is the work rolled back across all failures.
 	LostIterations int
 	// Elapsed is the end-to-end virtual time; Ideal is the failure- and
@@ -194,12 +239,37 @@ type Report struct {
 	Checksum float64
 }
 
+// MeanDetectionLatency averages the measured detection latencies
+// (0 when no failure was heartbeat-detected).
+func (r *Report) MeanDetectionLatency() des.Time {
+	if len(r.DetectionLatencies) == 0 {
+		return 0
+	}
+	var sum des.Time
+	for _, l := range r.DetectionLatencies {
+		sum += l
+	}
+	return sum / des.Time(len(r.DetectionLatencies))
+}
+
+// MaxDetectionLatency returns the slowest measured detection.
+func (r *Report) MaxDetectionLatency() des.Time {
+	var max des.Time
+	for _, l := range r.DetectionLatencies {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
 // team is one incarnation of the computation (between failures).
 type team struct {
 	world *mpi.World
 	d     Computation
 	cps   []*ckpt.Checkpointer
 	co    *ckpt.Coordinator
+	det   *cluster.Detector // nil unless HeartbeatPeriod > 0 and Ranks > 1
 }
 
 // Supervisor drives a run to completion through failures.
@@ -215,6 +285,15 @@ type Supervisor struct {
 	nextSeq      uint64
 	report       Report
 	failed       error
+
+	// Failure/recovery state machine. Failures are re-armed from the
+	// failure instant, so a second failure can land while detection or
+	// recovery of the first is still in progress (nested failures).
+	detecting       bool       // a heartbeat detection round is running
+	pendingRecovery *des.Event // the in-flight respawn, cancellable
+	pendingFailIter int        // iteration count at the failure being recovered
+	pendingDegraded bool       // the in-flight recovery fell short of the claimed line
+	unrecovered     int        // failures absorbed since the last completed recovery
 }
 
 // Run executes the configured computation under supervision and returns
@@ -270,6 +349,11 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 	if err != nil {
 		return nil, err
 	}
+	if cfg.NetFaults != nil {
+		if err := world.SetFaults(*cfg.NetFaults); err != nil {
+			return nil, err
+		}
+	}
 	var d Computation
 	if fresh {
 		d, err = cfg.Workload.New(s.eng, world)
@@ -298,6 +382,17 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 	if err != nil {
 		return nil, err
 	}
+	if cfg.HeartbeatPeriod > 0 && cfg.Ranks > 1 {
+		t.det, err = cluster.NewDetector(s.eng, world, cluster.DetectorConfig{
+			Period:  cfg.HeartbeatPeriod,
+			Timeout: cfg.HeartbeatTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.det.OnDeath = func(d cluster.Detection) { s.onDetected(t, d) }
+		t.det.Start()
+	}
 	return t, nil
 }
 
@@ -311,6 +406,10 @@ func (s *Supervisor) startTeam() {
 		}
 		// Quiescent point: coordinated checkpoint, then pause for the
 		// stop-and-copy commit before resuming.
+		if s.cfg.TwoPhaseCommit {
+			s.beginTwoPhase(t, iter, next)
+			return
+		}
 		g, err := t.co.GlobalCheckpoint()
 		if err != nil {
 			// The storage tier refused the line. The computation is
@@ -336,8 +435,50 @@ func (s *Supervisor) startTeam() {
 	})
 }
 
+// beginTwoPhase runs one prepare/commit checkpoint round for the current
+// team and resumes the computation when the round resolves. The done
+// callback fires at the commit's (or abort's) virtual completion time,
+// so the full round is a measured pause, not a modelled one.
+func (s *Supervisor) beginTwoPhase(t *team, iter int, next func()) {
+	ackDelay := 2 * mpi.QsNet().Latency
+	t.co.BeginTwoPhase(ckpt.TwoPhaseOptions{Timeout: s.cfg.CommitTimeout, AckDelay: ackDelay},
+		func(g ckpt.GlobalResult, err error) {
+			if err != nil {
+				if errors.Is(err, ckpt.ErrCommitAborted) {
+					s.report.AbortedCommits++
+				} else {
+					s.report.CheckpointFailures++
+				}
+				if s.cur != t || s.detecting {
+					// Aborted by a rank failure: the recovery path owns
+					// the future; do not resurrect the computation.
+					return
+				}
+				// Autonomous abort (straggler timeout, refused marker) or
+				// prepare refusal: the computation is unharmed. Realign
+				// the checkpointers and keep iterating without this line.
+				s.nextSeq = t.co.Resync()
+				next()
+				return
+			}
+			s.nextSeq = g.PerRank[0].Seq + 1
+			s.lastLineIter = iter
+			s.lineIter[g.PerRank[0].Seq] = iter
+			s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
+			s.report.CommitTime += s.eng.Now() - g.At
+			if s.cur != t || s.detecting {
+				return
+			}
+			next()
+		})
+}
+
 // finish completes the run: gather the verification checksum.
 func (s *Supervisor) finish(t *team) {
+	if t.det != nil {
+		t.det.Stop()
+		s.report.FalseSuspicions += t.det.FalseSuspicions()
+	}
 	vals, err := t.d.Gather()
 	if err != nil {
 		s.fail(err)
@@ -365,7 +506,12 @@ func (s *Supervisor) scheduleFailure() {
 	s.eng.After(delay, s.onFailure)
 }
 
-// onFailure kills the current team and schedules recovery.
+// onFailure kills a node. With the heartbeat detector off the
+// supervisor observes the death instantly (the paper's idealised
+// constant-overhead assumption) and schedules recovery directly; with it
+// on, a random rank's tickers go silent and recovery waits for a
+// survivor to declare the death. The next failure is re-armed from the
+// failure instant, so failures can land during detection or recovery.
 func (s *Supervisor) onFailure() {
 	if s.report.Completed || s.failed != nil {
 		return
@@ -375,20 +521,132 @@ func (s *Supervisor) onFailure() {
 		return
 	}
 	s.report.Failures++
+	s.unrecovered++
+	s.scheduleFailure()
+
+	if s.detecting {
+		// The job is already stalled waiting on the first death to be
+		// detected; this failure takes another of the survivors.
+		s.killAnother(s.cur)
+		return
+	}
+	if s.cur == nil {
+		// Failure during recovery: the respawn under way is lost. Redo
+		// select-and-restore against the (possibly further decayed)
+		// store; the spawner itself observes this one, no detection
+		// round needed.
+		if s.pendingRecovery != nil {
+			s.pendingRecovery.Cancel()
+			s.pendingRecovery = nil
+			s.scheduleRecovery(s.pendingFailIter)
+		}
+		return
+	}
+
 	t := s.cur
-	failIter := t.d.Iter()
-	// The node is gone: abandon the incarnation. Pending events against
-	// it become no-ops; its address spaces are garbage.
+	s.pendingFailIter = t.d.Iter()
+	if t.det != nil {
+		s.detecting = true
+	} else {
+		s.cur = nil
+	}
+	// A commit window open at the failure instant can never produce a
+	// trusted line: the abort deletes the prepared segments and the
+	// COMMIT marker is never written.
+	t.co.AbortPending(fmt.Errorf("rank failure at %v", s.eng.Now()))
+	// The computation is gone either way: the dead rank's halo partners
+	// stall within an iteration, and the stall propagates.
 	t.d.Stop()
 	for _, c := range t.cps {
 		c.Stop()
 	}
-	s.cur = nil
+	if t.det != nil {
+		victim := s.rng.IntN(s.cfg.Ranks)
+		if live := t.det.MarkFailed(victim); live == 0 {
+			s.abandonDetection(t)
+		}
+		return // a survivor's timeout will fire onDetected
+	}
+	s.scheduleRecovery(s.pendingFailIter)
+}
 
-	// Snapshot what the key space *claims* is the newest line before
-	// touching any data: a recovery is degraded when the line actually
-	// used falls short of this claim.
-	best, okBest, err := ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
+// killAnother fails one more live rank of a team already under
+// detection. Detection of the first death continues — unless nobody is
+// left alive to observe anything.
+func (s *Supervisor) killAnother(t *team) {
+	start := s.rng.IntN(s.cfg.Ranks)
+	for i := 0; i < s.cfg.Ranks; i++ {
+		v := (start + i) % s.cfg.Ranks
+		if t.det.Failed(v) {
+			continue
+		}
+		if live := t.det.MarkFailed(v); live == 0 {
+			s.abandonDetection(t)
+		}
+		return
+	}
+}
+
+// abandonDetection handles whole-partition loss: every rank is dead, so
+// no survivor can declare anything. The spawner's own liveness timeout
+// stands in for peer detection, at the detector's timeout cost.
+func (s *Supervisor) abandonDetection(t *team) {
+	s.detecting = false
+	s.cur = nil
+	t.det.Stop()
+	s.report.FalseSuspicions += t.det.FalseSuspicions()
+	failIter := s.pendingFailIter
+	s.eng.After(s.cfg.HeartbeatTimeout, func() {
+		if s.report.Completed || s.failed != nil || s.cur != nil || s.pendingRecovery != nil {
+			return
+		}
+		s.scheduleRecovery(failIter)
+	})
+}
+
+// onDetected runs when a surviving rank's heartbeat timeout declares the
+// victim dead: record the measured detection latency and start recovery.
+func (s *Supervisor) onDetected(t *team, d cluster.Detection) {
+	if s.report.Completed || s.failed != nil || !s.detecting || s.cur != t {
+		return
+	}
+	s.detecting = false
+	s.cur = nil
+	t.det.Stop()
+	s.report.FalseSuspicions += t.det.FalseSuspicions()
+	s.report.DetectionLatencies = append(s.report.DetectionLatencies, d.Latency())
+	s.scheduleRecovery(s.pendingFailIter)
+}
+
+// claimedSeq snapshots what the store *claims* is the newest line — the
+// commit-marker key space under two-phase commit, the segment key space
+// otherwise — before any data is touched. A recovery is degraded when
+// the line it actually restores falls short of this claim.
+func (s *Supervisor) claimedSeq() (uint64, bool, error) {
+	if !s.cfg.TwoPhaseCommit {
+		return ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
+	}
+	keys, err := s.store.Keys()
+	if err != nil {
+		return 0, false, err
+	}
+	var best uint64
+	ok := false
+	for _, k := range keys {
+		var seq uint64
+		if ckpt.ParseCommitKey(k, &seq) && (!ok || seq > best) {
+			best, ok = seq, true
+		}
+	}
+	return best, ok, nil
+}
+
+// scheduleRecovery selects and restores the newest trustworthy line now
+// (the store may decay further while the node respawns) and arms the
+// respawn after the restart overhead plus the measured chain-read time.
+// The armed event is cancellable: a nested failure redoes the selection.
+func (s *Supervisor) scheduleRecovery(failIter int) {
+	best, okBest, err := s.claimedSeq()
 	if err != nil {
 		s.fail(err)
 		return
@@ -397,11 +655,13 @@ func (s *Supervisor) onFailure() {
 	if s.failed != nil {
 		return
 	}
-	if okBest && (!ok || line < best) {
-		s.report.DegradedRecoveries++
-	}
+	s.pendingDegraded = okBest && (!ok || line < best)
+	s.pendingFailIter = failIter
 	downtime := s.cfg.RestartOverhead + readTime
-	s.eng.After(downtime, func() { s.recover(spaces, line, ok, failIter) })
+	s.pendingRecovery = s.eng.After(downtime, func() {
+		s.pendingRecovery = nil
+		s.recover(spaces, line, ok, failIter)
+	})
 }
 
 // selectAndRestore finds the newest recovery line the storage tier can
@@ -413,9 +673,15 @@ func (s *Supervisor) onFailure() {
 // Returns nil spaces when no line survives (scratch restart), plus the
 // virtual time the winning chain read costs.
 func (s *Supervisor) selectAndRestore() (spaces []*mem.AddressSpace, line uint64, ok bool, readTime des.Time) {
+	// Under two-phase commit only lines with a verified COMMIT marker
+	// may be trusted; otherwise the newest fully verifiable line wins.
+	latest := ckpt.LatestVerifiableSeq
+	if s.cfg.TwoPhaseCommit {
+		latest = ckpt.LatestCommittedSeq
+	}
 	for attempt := 0; attempt <= len(s.lineIter)+1; attempt++ {
 		var err error
-		line, ok, err = ckpt.LatestVerifiableSeq(s.store, s.cfg.Ranks)
+		line, ok, err = latest(s.store, s.cfg.Ranks)
 		if err != nil {
 			s.fail(err)
 			return nil, 0, false, 0
@@ -463,9 +729,16 @@ func (s *Supervisor) recover(spaces []*mem.AddressSpace, line uint64, haveLine b
 		return
 	}
 	s.cur = t
-	s.report.Recoveries++
+	// One completed recovery covers every failure absorbed since the
+	// last one (nested failures redo the same recovery), so on success
+	// Recoveries == Failures still holds.
+	s.report.Recoveries += s.unrecovered
+	s.unrecovered = 0
+	if s.pendingDegraded {
+		s.report.DegradedRecoveries++
+		s.pendingDegraded = false
+	}
 	s.startTeam()
-	s.scheduleFailure()
 }
 
 func (s *Supervisor) fail(err error) {

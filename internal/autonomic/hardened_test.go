@@ -1,6 +1,7 @@
 package autonomic
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/des"
@@ -92,7 +93,7 @@ func TestHardenedStorageRecovery(t *testing.T) {
 	// Deterministic: an identical fresh stack replays the identical run,
 	// fault for fault.
 	rep2, _, _ := run()
-	if *rep != *rep2 {
+	if fmt.Sprintf("%+v", rep) != fmt.Sprintf("%+v", rep2) {
 		t.Fatalf("non-deterministic under faults:\n  %+v\nvs\n  %+v", rep, rep2)
 	}
 }

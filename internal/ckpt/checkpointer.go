@@ -184,6 +184,12 @@ func (c *Checkpointer) Stats() Stats { return c.stats }
 // Seq returns the next segment sequence number.
 func (c *Checkpointer) Seq() uint64 { return c.seq }
 
+// Rank returns the rank this checkpointer labels its segments with.
+func (c *Checkpointer) Rank() int { return c.opts.Rank }
+
+// Store returns the stable-storage backend segments persist to.
+func (c *Checkpointer) Store() storage.Store { return c.opts.Store }
+
 // Rebase realigns the checkpointer after a failed persist: the next
 // checkpoint is written at seq and is forced full, basing a fresh
 // self-contained chain. A Checkpoint that failed at the store has
@@ -343,7 +349,7 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 	} else {
 		enc, payload = seg.Encode(), uint64(len(seg.Pages))*ps
 	}
-	key := fmt.Sprintf("rank%03d/seg%06d", c.opts.Rank, c.seq)
+	key := SegmentKey(c.opts.Rank, c.seq)
 	if err := c.opts.Store.Put(key, enc); err != nil {
 		return Result{}, fmt.Errorf("ckpt: persist %s: %w", key, err)
 	}
@@ -400,8 +406,7 @@ func (c *Checkpointer) skipUnchanged(kind Kind, addr uint64, data []byte) bool {
 
 // LoadSegment fetches and decodes one segment of this checkpointer's rank.
 func LoadSegment(store storage.Store, rank int, seq uint64) (*Segment, error) {
-	key := fmt.Sprintf("rank%03d/seg%06d", rank, seq)
-	data, err := store.Get(key)
+	data, err := store.Get(SegmentKey(rank, seq))
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,8 @@ type Coordinator struct {
 
 	ticker  *des.Ticker
 	results []GlobalResult
+	// pending is the in-flight two-phase round, if any (see commit.go).
+	pending *pendingCommit
 }
 
 // NewCoordinator creates a coordinator over the given checkpointers

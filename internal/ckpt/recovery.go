@@ -58,6 +58,12 @@ func LatestConsistentSeq(store storage.Store, ranks int) (seq uint64, ok bool, e
 	return seq, true, nil
 }
 
+// SegmentKey returns the store key of one rank's segment — the layout
+// Checkpointer.Checkpoint writes and ParseSegmentKey parses.
+func SegmentKey(rank int, seq uint64) string {
+	return fmt.Sprintf("rank%03d/seg%06d", rank, seq)
+}
+
 // ParseSegmentKey parses a store key of the form "rankNNN/segNNNNNN",
 // the layout written by Checkpointer.Checkpoint.
 func ParseSegmentKey(key string, rank *int, seq *uint64) bool {
@@ -143,8 +149,7 @@ func ChainVolume(store storage.Store, rank int, targetSeq uint64) (uint64, error
 	}
 	var total uint64
 	for seq := target.Epoch; seq <= targetSeq; seq++ {
-		key := fmt.Sprintf("rank%03d/seg%06d", rank, seq)
-		data, err := store.Get(key)
+		data, err := store.Get(SegmentKey(rank, seq))
 		if err != nil {
 			return 0, fmt.Errorf("ckpt: chain segment %d: %w", seq, err)
 		}

@@ -263,7 +263,13 @@ func DecodeSegment(data []byte) (*Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	if np*9 > uint64(len(data))+np*s.PageSize {
+	// Every page record costs at least its address (plus a flag byte
+	// unless content-free), so np is bounded by the bytes actually left.
+	minRec := uint64(9)
+	if s.ContentFree {
+		minRec = 8
+	}
+	if np > uint64(len(data)-d.off)/minRec {
 		return nil, fmt.Errorf("ckpt: page count %d exceeds segment size", np)
 	}
 	s.Pages = make([]PageRecord, 0, np)

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestFaultyClusterAblation(t *testing.T) {
+	seeds := []uint64{3, 9}
+	rows, err := FaultyClusterAblation(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, periods, slices := clusterGrid()
+	if len(rows) != len(loss)*len(periods)*len(slices) {
+		t.Fatalf("rows %d != grid %d", len(rows), len(loss)*len(periods)*len(slices))
+	}
+
+	totalAborts, totalFalse := 0, 0
+	for _, r := range rows {
+		if r.Completed != r.Runs {
+			t.Fatalf("cell %+v did not complete every run", r)
+		}
+		if !r.BitExact {
+			t.Fatalf("cell %+v lost bit-exactness", r)
+		}
+		if r.Recoveries != r.Failures {
+			t.Fatalf("cell %+v: recoveries != failures", r)
+		}
+		// Detection latency is a measured quantity bounded by the
+		// protocol: at least timeout−period even under loss.
+		if r.Failures > 0 {
+			timeout := 4 * r.Period
+			if r.MeanDetect < timeout-r.Period {
+				t.Fatalf("cell %+v: mean detection below protocol floor", r)
+			}
+			if r.MaxDetect < r.MeanDetect {
+				t.Fatalf("cell %+v: max < mean", r)
+			}
+		}
+		if r.MeanEfficiency <= 0 || r.MeanEfficiency >= 1 {
+			t.Fatalf("cell %+v: efficiency out of range", r)
+		}
+		totalAborts += r.AbortedCommits
+		totalFalse += r.FalseSuspicions
+	}
+	if totalAborts == 0 {
+		t.Fatal("no mid-checkpoint abort anywhere in the grid")
+	}
+
+	// Longer heartbeat periods must cost more detection latency.
+	var fast, slow des.Time
+	for _, r := range rows {
+		if r.Failures == 0 {
+			continue
+		}
+		if r.Period == periods[0] && (fast == 0 || r.MeanDetect > fast) {
+			fast = r.MeanDetect
+		}
+		if r.Period == periods[len(periods)-1] && (slow == 0 || r.MeanDetect < slow) {
+			slow = r.MeanDetect
+		}
+	}
+	if fast == 0 || slow == 0 || slow <= fast {
+		t.Fatalf("period sweep not reflected in detection latency: fast %v slow %v", fast, slow)
+	}
+
+	// Bit-reproducible: the same seeds replay the identical table.
+	rows2, err := FaultyClusterAblation(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", rows) != fmt.Sprintf("%+v", rows2) {
+		t.Fatal("A15 not reproducible for identical seeds")
+	}
+
+	out := FormatCluster(rows)
+	if !strings.Contains(out, "loss%") || len(strings.Split(strings.TrimSpace(out), "\n")) != len(rows)+1 {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}

@@ -15,9 +15,9 @@ import "repro/internal/des"
 func (r *Rank) Bcast(root int, bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
-	xfer := steps * w.net.transfer(bytes)
 	rank := r
 	r.Barrier(func() {
+		xfer := w.collectiveXfer(steps, bytes)
 		w.eng.After(xfer, func() {
 			if rank.id != root {
 				if destAddr != 0 && bytes > 0 {
@@ -40,9 +40,9 @@ func (r *Rank) Bcast(root int, bytes uint64, destAddr uint64, fn func()) {
 func (r *Rank) Reduce(root int, bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
-	xfer := steps * w.net.transfer(bytes)
 	rank := r
 	r.Barrier(func() {
+		xfer := w.collectiveXfer(steps, bytes)
 		w.eng.After(xfer, func() {
 			if rank.id == root {
 				if destAddr != 0 && bytes > 0 {
@@ -68,10 +68,10 @@ func (r *Rank) Alltoall(bytesPerRank uint64, destAddr uint64, fn func()) {
 	w := r.world
 	n := len(w.ranks)
 	steps := des.Time(n - 1)
-	xfer := steps * w.net.transfer(bytesPerRank)
 	total := bytesPerRank * uint64(n-1)
 	rank := r
 	r.Barrier(func() {
+		xfer := w.collectiveXfer(steps, bytesPerRank)
 		w.eng.After(xfer, func() {
 			if destAddr != 0 && total > 0 {
 				rank.copyOut(destAddr, total)

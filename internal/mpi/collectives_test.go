@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -161,5 +162,108 @@ func TestPropertyNonOvertaking(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Edge worlds: single-rank and non-power-of-two sizes, in both delivery
+// modes, on clean and lossy fabrics. Collectives must complete, deliver
+// the right volumes, and keep every rank's completion simultaneous.
+func TestCollectivesEdgeWorlds(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		for _, mode := range []DeliveryMode{Bounce, Direct} {
+			for _, lossy := range []bool{false, true} {
+				name := map[DeliveryMode]string{Bounce: "bounce", Direct: "direct"}[mode]
+				t.Run(fmt.Sprintf("n=%d/%s/lossy=%v", n, name, lossy), func(t *testing.T) {
+					eng, w := testWorld(t, n, mode)
+					if lossy {
+						if err := w.SetFaults(NetFaultConfig{Seed: 4, DropRate: 0.25, DupRate: 0.1}); err != nil {
+							t.Fatal(err)
+						}
+					}
+					var times []des.Time
+					for i := 0; i < n; i++ {
+						w.Rank(i).AllReduce(2048, 0, func() { times = append(times, eng.Now()) })
+					}
+					eng.Run(des.MaxTime)
+					if len(times) != n {
+						t.Fatalf("allreduce completed on %d/%d ranks", len(times), n)
+					}
+					for _, at := range times {
+						if at != times[0] {
+							t.Fatalf("ranks completed at different times: %v", times)
+						}
+					}
+					exp := uint64(2048 * logTwo(n))
+					for i := 0; i < n; i++ {
+						if got := w.Rank(i).Stats().BytesReceived; got != exp {
+							t.Fatalf("rank %d received %d, want %d", i, got, exp)
+						}
+					}
+
+					// Bcast from the last rank (non-zero root at the edge).
+					done := 0
+					root := n - 1
+					for i := 0; i < n; i++ {
+						w.Rank(i).Bcast(root, 512, 0, func() { done++ })
+					}
+					eng.Run(des.MaxTime)
+					if done != n {
+						t.Fatalf("bcast completed on %d/%d ranks", done, n)
+					}
+
+					// Alltoall in a size-1 world moves zero bytes but must
+					// still complete.
+					done = 0
+					for i := 0; i < n; i++ {
+						w.Rank(i).Alltoall(777, 0, func() { done++ })
+					}
+					eng.Run(des.MaxTime)
+					if done != n {
+						t.Fatalf("alltoall completed on %d/%d ranks", done, n)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Single-rank collectives are free: no steps, no transfer, release after
+// zero dissemination rounds.
+func TestSingleRankCollectiveTiming(t *testing.T) {
+	eng, w := testWorld(t, 1, Direct)
+	var at des.Time = -1
+	w.Rank(0).AllReduce(1<<20, 0, func() { at = eng.Now() })
+	eng.Run(des.MaxTime)
+	if at != 0 {
+		t.Fatalf("single-rank allreduce completed at %v, want 0", at)
+	}
+}
+
+// Point-to-point retransmission works at the same edges: every plain
+// send in a 3- and 5-rank lossy ring arrives exactly once in both modes.
+func TestRetransmitEdgeWorlds(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		for _, mode := range []DeliveryMode{Bounce, Direct} {
+			eng, w := testWorld(t, n, mode)
+			if err := w.SetFaults(NetFaultConfig{Seed: 8, DropRate: 0.35, DupRate: 0.2}); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, n)
+			for r := 0; r < n; r++ {
+				dst := (r + 1) % n
+				d := dst
+				w.Rank(dst).Recv(r, 60, 0, func(m Message) { got[d]++ })
+				w.Rank(r).Send(dst, 60, 9000, nil)
+			}
+			eng.Run(des.MaxTime)
+			for r, c := range got {
+				if c != 1 {
+					t.Fatalf("n=%d mode=%v: rank %d received %d copies", n, mode, r, c)
+				}
+			}
+			if w.FaultStats().Retransmits == 0 {
+				t.Fatalf("n=%d mode=%v: no retransmits at 35%% loss", n, mode)
+			}
+		}
 	}
 }

@@ -164,6 +164,10 @@ type World struct {
 	barrierFns     []func()
 	barrierMax     des.Time
 	barrierFirst   des.Time
+
+	// faults, when non-nil, is the installed interconnect fault model
+	// (see flaky.go). Nil means a perfect network.
+	faults *netFaults
 }
 
 // NewWorld creates n ranks, each owning one of the provided address
@@ -226,6 +230,12 @@ func (r *Rank) send(dst, tag int, bytes uint64, payload []byte, onComplete func(
 	r.stats.Sends++
 	r.stats.BytesSent += bytes
 	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: w.eng.Now()}
+	if w.faults != nil {
+		// Lossy fabric: exactly-once delivery rides the ARQ schedule;
+		// the sender completes at the first surviving ack.
+		w.sendFaulty(msg, onComplete)
+		return
+	}
 	arrival := w.net.transfer(bytes)
 	w.eng.After(arrival, func() {
 		w.ranks[dst].deliver(msg)
@@ -380,6 +390,9 @@ func (r *Rank) Barrier(fn func()) {
 		return
 	}
 	release := w.barrierMax + w.net.Latency*des.Time(logTwo(len(w.ranks)))
+	if w.faults != nil {
+		release += w.barrierPenalty(logTwo(len(w.ranks)), len(w.ranks), w.barrierMax)
+	}
 	fns := w.barrierFns
 	wait := w.barrierMax - w.barrierFirst
 	for _, rk := range w.ranks {
@@ -404,9 +417,12 @@ func (r *Rank) Barrier(fn func()) {
 func (r *Rank) AllReduce(bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
-	xfer := steps * w.net.transfer(bytes)
 	rank := r
 	r.Barrier(func() {
+		// Computed at release so degradation windows active *now* apply;
+		// identical for every rank (no draws), so completion stays
+		// simultaneous.
+		xfer := w.collectiveXfer(steps, bytes)
 		w.eng.After(xfer, func() {
 			if destAddr != 0 && bytes > 0 {
 				rank.copyOut(destAddr, bytes)

@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzOpenEnvelope throws arbitrary frames at the integrity envelope
+// parser: valid frames round-trip, everything else must come back as an
+// ErrCorrupt-wrapped typed error — never a panic, never a silent accept
+// of a frame Seal could not have produced.
+func FuzzOpenEnvelope(f *testing.F) {
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("hello")))
+	f.Add(Seal(bytes.Repeat([]byte{0xEE}, 1024)))
+	f.Add([]byte("ICSE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		payload, err := Open(frame)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not typed ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted frames must be exactly what Seal(payload) builds.
+		if !bytes.Equal(Seal(payload), frame) {
+			t.Fatal("accepted frame is not a Seal image of its payload")
+		}
+	})
+}
+
+// FuzzSealOpenRoundTrip pins the forward direction: every payload seals
+// into a frame that opens back to the identical bytes.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("segment payload"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got, err := Open(Seal(payload))
+		if err != nil {
+			t.Fatalf("own frame rejected: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
