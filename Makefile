@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet lint race bench verify
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Determinism-contract multichecker (detlint, maporder, errwrap,
+# seedplumb) over every package. See DESIGN.md "Determinism contract".
+lint:
+	$(GO) run ./cmd/lint ./...
+
 race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem ./...
 
 # The full gate: everything must pass before a change lands.
-verify: build vet race
+verify: build vet lint race

@@ -1,0 +1,115 @@
+// Command lint is the repo's determinism-contract multichecker. It
+// loads every matched package with the stdlib-only analysis framework
+// and runs four project-specific analyzers:
+//
+//	detlint    no wall-clock time or ambient entropy in internal/ and cmd/
+//	maporder   no map-iteration order leaking into slices, writers, channels
+//	errwrap    sentinel errors compared with errors.Is and wrapped with %w
+//	seedplumb  exported internal/ functions take seeds, never bake them in
+//
+// Usage:
+//
+//	lint [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status is 1 if any diagnostic is reported. Suppress a finding with a
+// trailing or preceding comment:
+//
+//	//lint:ignore detlint this demo deliberately reads the wall clock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detlint"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/seedplumb"
+)
+
+// checkers binds each analyzer to the slice of the module it governs.
+// detlint and errwrap guard the simulator and its tools; seedplumb is
+// about internal/ API shape; maporder applies to every non-test
+// package, examples included — a nondeterministic example teaches the
+// wrong lesson.
+var checkers = []struct {
+	analyzer *analysis.Analyzer
+	applies  func(relPath string) bool
+}{
+	{detlint.Analyzer, inInternalOrCmd},
+	{maporder.Analyzer, func(string) bool { return true }},
+	{errwrap.Analyzer, inInternalOrCmd},
+	{seedplumb.Analyzer, func(rel string) bool { return strings.HasPrefix(rel, "internal/") }},
+}
+
+func inInternalOrCmd(rel string) bool {
+	return strings.HasPrefix(rel, "internal/") || strings.HasPrefix(rel, "cmd/")
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-list] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, c := range checkers {
+			fmt.Printf("%-10s %s\n", c.analyzer.Name, c.analyzer.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := Lint(os.Stdout, ".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d problem(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// Lint runs the multichecker over patterns resolved against the module
+// enclosing dir, printing diagnostics to w, and returns the number of
+// findings. It is the whole of main's logic, factored so the test
+// suite can run the real gate in-process.
+func Lint(w io.Writer, dir string, patterns []string) (int, error) {
+	modDir, modPath, err := analysis.FindModule(dir)
+	if err != nil {
+		return 0, err
+	}
+	loader := analysis.NewLoader(modDir, modPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, modPath), "/")
+		var active []*analysis.Analyzer
+		for _, c := range checkers {
+			if c.applies(rel) {
+				active = append(active, c.analyzer)
+			}
+		}
+		diags, err := analysis.RunPackage(pkg, active)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

@@ -1,0 +1,186 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// frametest flags every call to a function literally named "bad" — the
+// minimal analyzer, used to test the framework rather than any check.
+var frametest = &analysis.Analyzer{
+	Name: "frametest",
+	Doc:  "flag calls to bad()",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func loadIgnorePkg(t *testing.T) *analysis.Package {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader(src, "golden.test").LoadDir("ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestSuppression pins the whole suppression contract: directives on
+// the same or preceding line suppress their named check only, and a
+// directive without a reason both fails to suppress and is itself
+// reported.
+func TestSuppression(t *testing.T) {
+	pkg := loadIgnorePkg(t)
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{frametest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type finding struct {
+		line     int
+		category string
+	}
+	var got []finding
+	for _, d := range diags {
+		got = append(got, finding{d.Position.Line, d.Category})
+	}
+	want := []finding{
+		{8, "frametest"},  // no directive
+		{22, "frametest"}, // directive names a different check
+		{26, "lint"},      // malformed directive (missing reason)
+		{27, "frametest"}, // ... which therefore suppresses nothing
+		{33, "frametest"}, // directive separated by a blank line
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, d := range diags {
+		if d.Category == "lint" && !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("malformed-directive message = %q", d.Message)
+		}
+	}
+}
+
+// TestDeterministicOrder runs the same package twice and demands
+// byte-identical diagnostics: the determinism linter's own output must
+// be deterministic.
+func TestDeterministicOrder(t *testing.T) {
+	render := func() string {
+		pkg := loadIgnorePkg(t)
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{frametest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("two renders differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFindModule resolves the enclosing module from a nested directory.
+func TestFindModule(t *testing.T) {
+	dir, path, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "repro" {
+		t.Errorf("module path = %q, want %q", path, "repro")
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(dir))) == "internal" {
+		t.Errorf("module dir = %q should be the repo root", dir)
+	}
+}
+
+// TestExpand checks ./... pattern expansion: testdata is skipped,
+// nested packages are found, and the order is sorted (deterministic).
+func TestExpand(t *testing.T) {
+	modDir, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(modDir, modPath)
+	dirs, err := l.Expand([]string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(dirs, " ")
+	for _, wantDir := range []string{
+		"internal/analysis",
+		"internal/analysis/analysistest",
+		"internal/analysis/detlint",
+	} {
+		if !strings.Contains(joined, wantDir) {
+			t.Errorf("Expand missing %s in %v", wantDir, dirs)
+		}
+	}
+	if strings.Contains(joined, "testdata") {
+		t.Errorf("Expand must skip testdata dirs, got %v", dirs)
+	}
+	if !sortedStrings(dirs) {
+		t.Errorf("Expand order not sorted: %v", dirs)
+	}
+}
+
+// TestLoadTypesInfo spot-checks that loaded packages carry full type
+// information — the analyzers are useless without it.
+func TestLoadTypesInfo(t *testing.T) {
+	modDir, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(modDir, modPath)
+	pkg, err := l.LoadDir("internal/bitset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "repro/internal/bitset" {
+		t.Errorf("path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Info.Defs) == 0 {
+		t.Fatalf("missing type info for %s", pkg.Path)
+	}
+	// Loading again returns the memoized package.
+	again, err := l.LoadDir("internal/bitset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Error("LoadDir did not memoize")
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

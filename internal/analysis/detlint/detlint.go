@@ -1,0 +1,82 @@
+// Package detlint forbids wall-clock time and ambient entropy in
+// simulator code. Every published number in this repo is claimed to be
+// bit-reproducible per seed; that holds only if all time flows through
+// the des engine's virtual clock and all randomness through an
+// explicitly threaded, explicitly seeded *rand.Rand. One stray
+// time.Now() or global rand.IntN() quietly voids the claim.
+package detlint
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detlint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock time (time.Now/Since/Sleep/After/Tick/...) and " +
+		"ambient entropy (global math/rand funcs, crypto/rand, process ids) " +
+		"in simulator code; use des virtual time and a threaded *rand.Rand",
+	Run: run,
+}
+
+// wallClock is the forbidden surface of package time: everything that
+// observes or waits on the host clock. Types, constants, and
+// conversions (time.Duration, time.Second) remain fine — they carry no
+// ambient state.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// hostState is the forbidden surface of package os: process identity
+// that changes run to run and therefore must never feed a seed.
+var hostState = map[string]bool{"Getpid": true, "Getppid": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectorExpr:
+				// Any mention of crypto/rand (rand.Reader as much as
+				// rand.Read) is ambient entropy.
+				if path, name, ok := analysis.SelectedPkgName(pass.TypesInfo, n); ok && path == "crypto/rand" {
+					pass.Reportf(n.Pos(), "ambient entropy: crypto/rand.%s is nondeterministic; derive randomness from the run's seeded *rand.Rand", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	path, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	switch path {
+	case "time":
+		if wallClock[name] {
+			pass.Reportf(call.Pos(), "wall-clock dependence: time.%s is forbidden in simulator code; all time must come from des virtual time (Engine.Now/After)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws (rand.Int, rand.IntN, rand.N, rand.Perm,
+		// rand.Shuffle, ...) use the shared, implicitly seeded global
+		// source. Constructors (New, NewPCG, NewSource, ...) are how a
+		// seeded generator is built, so they stay legal here —
+		// seedplumb polices how they are seeded.
+		if len(name) >= 3 && name[:3] == "New" {
+			return
+		}
+		pass.Reportf(call.Pos(), "ambient randomness: %s.%s draws from the shared global generator; thread an explicitly seeded *rand.Rand instead", path, name)
+	case "os":
+		if hostState[name] {
+			pass.Reportf(call.Pos(), "ambient process state: os.%s leaks host identity into the simulation; derive identifiers from configuration", name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "detlint")
+}

@@ -1,0 +1,49 @@
+// Package detlint is golden-test input: each // want comment asserts a
+// diagnostic on its line; lines without one must stay clean.
+package detlint
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+func wallClock() {
+	_ = time.Now()                 // want `time\.Now`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep`
+	_ = time.Since(time.Time{})    // want `time\.Since`
+	_ = time.After(time.Second)    // want `time\.After`
+	_ = time.Tick(time.Second)     // want `time\.Tick`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer`
+}
+
+func globalRand() {
+	_ = rand.Int()                     // want `rand/v2\.Int draws from the shared global`
+	_ = rand.IntN(4)                   // want `rand/v2\.IntN`
+	_ = rand.Float64()                 // want `rand/v2\.Float64`
+	_ = rand.N(int64(9))               // want `rand/v2\.N`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand/v2\.Shuffle`
+}
+
+func ambientEntropy() {
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want `crypto/rand\.Read`
+	_ = os.Getpid()         // want `os\.Getpid`
+}
+
+// clean shows the legal forms: virtual-time constants, conversions,
+// and draws from an explicitly threaded generator.
+func clean(rng *rand.Rand, virtualNanos int64) time.Duration {
+	d := time.Duration(virtualNanos) * time.Nanosecond
+	_ = rng.IntN(3)
+	_ = rand.New(rand.NewPCG(1, 2)) // constructors are seedplumb's concern, not detlint's
+	_ = os.Getenv("HOME")           // os is fine outside pid calls
+	return d
+}
+
+func suppressedForDemo() {
+	//lint:ignore detlint this demo deliberately measures host elapsed time
+	_ = time.Now()
+	_ = time.Now() //lint:ignore detlint trailing-comment form works too
+}

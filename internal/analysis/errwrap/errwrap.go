@@ -1,0 +1,174 @@
+// Package errwrap keeps the repo's error taxonomy intact under
+// wrapping. ResilientStore and MirrorStore deliberately wrap sentinels
+// (storage.ErrNotFound, ckpt.ErrCommitAborted, ...) with context via
+// fmt.Errorf("...: %w", err); any `err == ErrX` comparison or a
+// sentinel formatted with %v instead of %w silently stops matching the
+// moment a wrapping layer is inserted between producer and consumer.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "flag err == ErrX / err != ErrX / switch-on-error comparisons that " +
+		"should be errors.Is, and fmt.Errorf calls that embed a sentinel " +
+		"without %w — both break the error taxonomy under wrapping",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	sentinel, other := b.X, b.Y
+	obj, ok := analysis.IsErrorSentinel(pass.TypesInfo, sentinel)
+	if !ok {
+		sentinel, other = b.Y, b.X
+		if obj, ok = analysis.IsErrorSentinel(pass.TypesInfo, sentinel); !ok {
+			return
+		}
+	}
+	if !isErrorExpr(pass.TypesInfo, other) {
+		return
+	}
+	verb := "errors.Is(err, %s)"
+	if b.Op == token.NEQ {
+		verb = "!errors.Is(err, %s)"
+	}
+	pass.Reportf(b.Pos(), "comparison with sentinel %s stops matching once the error is wrapped; use "+verb, obj.Name(), obj.Name())
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass.TypesInfo, sw.Tag) {
+		return
+	}
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			if obj, ok := analysis.IsErrorSentinel(pass.TypesInfo, v); ok {
+				pass.Reportf(v.Pos(), "switch case compares sentinel %s with ==, which stops matching once the error is wrapped; use errors.Is(err, %s)", obj.Name(), obj.Name())
+			}
+		}
+	}
+}
+
+// isErrorExpr reports whether e has error type and is not the nil
+// literal (err == nil is the one comparison that survives wrapping by
+// definition).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return types.AssignableTo(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	path, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, call)
+	if !ok || path != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := verbByArg(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		obj, ok := analysis.IsErrorSentinel(pass.TypesInfo, arg)
+		if !ok {
+			continue
+		}
+		if v, seen := verbs[i]; seen && v != 'w' {
+			pass.Reportf(arg.Pos(), "fmt.Errorf embeds sentinel %s with %%%c; use %%w so errors.Is keeps matching through the wrap", obj.Name(), v)
+		}
+	}
+}
+
+// verbByArg maps operand index (0 = first argument after the format
+// string) to the verb that consumes it, handling %%, flags,
+// *-widths/precisions, and explicit [n] argument indexes.
+func verbByArg(format string) map[int]rune {
+	verbs := make(map[int]rune)
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && isFlag(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			arg++ // the width itself consumes an operand
+			i++
+		}
+		for i < len(format) && isDigit(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			}
+			for i < len(format) && isDigit(format[i]) {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && isDigit(format[j]) {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i < len(format) {
+			verbs[arg] = rune(format[i])
+			arg++
+			i++
+		}
+	}
+	return verbs
+}
+
+func isFlag(c byte) bool  { return c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,62 @@
+// Package errwrap is golden-test input for the sentinel-wrapping
+// analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrCorrupt   = errors.New("corrupt")
+	ErrTransient = errors.New("transient")
+	notSentinel  = errors.New("named outside the taxonomy")
+)
+
+func compare(err error) bool {
+	if err == ErrCorrupt { // want `sentinel ErrCorrupt .* use errors\.Is\(err, ErrCorrupt\)`
+		return true
+	}
+	return err != ErrTransient // want `sentinel ErrTransient .* use !errors\.Is\(err, ErrTransient\)`
+}
+
+func compareFine(err error) bool {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return true
+	}
+	return err == notSentinel // not ErrXxx-shaped: outside the taxonomy
+}
+
+func wrap(key string, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("get %q: %v", key, ErrCorrupt) // want `embeds sentinel ErrCorrupt with %v; use %w`
+	}
+	return fmt.Errorf("get %q: %w", key, ErrCorrupt)
+}
+
+func wrapIndirect(err error) error {
+	// Wrapping a plain error variable with %v is merely lossy, not a
+	// taxonomy break — only literal sentinels are errwrap's business.
+	return fmt.Errorf("wrapped: %v", err)
+}
+
+func wrapWidth(n int, cause error) error {
+	// *-width consumes an operand; the sentinel lands on the second
+	// verb and must still be tracked to it.
+	return fmt.Errorf("%*d items: %v", n, 3, ErrTransient) // want `embeds sentinel ErrTransient with %v`
+}
+
+func switchCompare(err error) int {
+	switch err {
+	case ErrCorrupt: // want `switch case compares sentinel ErrCorrupt`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func suppressedIdentity(err error) bool {
+	//lint:ignore errwrap identity check on the unwrapped producer side
+	return err == ErrTransient
+}

@@ -1,0 +1,189 @@
+// Package maporder flags map iterations whose bodies leak Go's
+// randomized map ordering into observable output: appending to a slice
+// that is never subsequently sorted, writing to an io.Writer, or
+// sending on a channel. This is the classic way nondeterminism reaches
+// the repo's figures and tables — the simulation is bit-exact, and
+// then a `for k := range m { fmt.Fprintf(w, ...) }` shuffles the rows.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map bodies that append to a slice without a " +
+		"subsequent sort, write to an io.Writer, or send on a channel — " +
+		"map iteration order would leak into observable output",
+	Run: run,
+}
+
+// fmtWriters are the fmt functions that emit text in call order.
+var fmtWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are method names that, on an io.Writer, emit bytes in
+// call order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// writerIface is io.Writer built from first principles so the analyzer
+// does not depend on the target package importing io.
+var writerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType)),
+		false)
+	i := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	i.Complete()
+	return i
+}()
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sortCall records a deterministic reordering (sort.* / slices.Sort*)
+// of some slice object at some position within a function body.
+type sortCall struct {
+	pos token.Pos
+	obj types.Object
+}
+
+// checkFunc analyzes one function body. Nested function literals are
+// skipped here; the outer Inspect visits them as functions in their
+// own right.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var mapRanges []*ast.RangeStmt
+	var sorts []sortCall
+	analysis.WalkSameFunc(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					mapRanges = append(mapRanges, n)
+				}
+			}
+		case *ast.CallExpr:
+			if obj, ok := sortedSlice(pass.TypesInfo, n); ok {
+				sorts = append(sorts, sortCall{n.Pos(), obj})
+			}
+		}
+		return true
+	})
+	for _, r := range mapRanges {
+		checkRange(pass, r, sorts)
+	}
+}
+
+// sortedSlice reports whether call deterministically orders a slice,
+// and which object that slice is.
+func sortedSlice(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	path, name, ok := analysis.CalleePkgFunc(info, call)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	isSort := path == "sort" || (path == "slices" && len(name) >= 4 && name[:4] == "Sort")
+	if !isSort {
+		return nil, false
+	}
+	obj := analysis.RootObject(info, call.Args[0])
+	return obj, obj != nil
+}
+
+func checkRange(pass *analysis.Pass, r *ast.RangeStmt, sorts []sortCall) {
+	analysis.WalkSameFunc(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: delivery order depends on map iteration order; iterate over sorted keys instead")
+		case *ast.CallExpr:
+			checkWriteCall(pass, n)
+		case *ast.AssignStmt:
+			checkAppend(pass, n, r, sorts)
+		}
+		return true
+	})
+}
+
+// checkWriteCall flags ordered output produced inside the loop body:
+// fmt print functions and Write* methods on io.Writer implementations.
+func checkWriteCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if path, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, call); ok {
+		if path == "fmt" && fmtWriters[name] {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration: output row order depends on map iteration order; iterate over sorted keys instead", name)
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeMethods[sel.Sel.Name] {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if types.Implements(recv, writerIface) || types.Implements(types.NewPointer(recv), writerIface) {
+		pass.Reportf(call.Pos(), "%s on an io.Writer inside map iteration: byte order depends on map iteration order; iterate over sorted keys instead", sel.Sel.Name)
+	}
+}
+
+// checkAppend flags `x = append(x, ...)` in the loop body unless some
+// sort of x happens after the range statement in the same function.
+func checkAppend(pass *analysis.Pass, as *ast.AssignStmt, r *ast.RangeStmt, sorts []sortCall) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		var target types.Object
+		if i < len(as.Lhs) {
+			target = analysis.RootObject(pass.TypesInfo, as.Lhs[i])
+		}
+		if target == nil {
+			continue
+		}
+		sorted := false
+		for _, s := range sorts {
+			if s.obj == target && s.pos > r.End() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			pass.Reportf(call.Pos(), "append to %s inside map iteration without a subsequent sort: element order depends on map iteration order", target.Name())
+		}
+	}
+}

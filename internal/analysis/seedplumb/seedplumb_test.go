@@ -1,0 +1,12 @@
+package seedplumb_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seedplumb"
+)
+
+func TestSeedplumb(t *testing.T) {
+	analysistest.Run(t, seedplumb.Analyzer, "seedplumb")
+}

@@ -1,0 +1,13 @@
+package seedplumb
+
+import mrand "math/rand"
+
+// LegacySource exercises the math/rand (v1) flavor.
+func LegacySource() *mrand.Rand {
+	return mrand.New(mrand.NewSource(99)) // want `exported LegacySource seeds its generator from constant literals`
+}
+
+// LegacySeeded is the plumbed v1 counterpart.
+func LegacySeeded(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}

@@ -1,0 +1,48 @@
+// Package seedplumb is golden-test input for the seed-plumbing
+// analyzer.
+package seedplumb
+
+import (
+	"math/rand/v2"
+)
+
+type Thing struct{ rng *rand.Rand }
+
+// NewFixed bakes its seed in: no caller can ever vary the run.
+func NewFixed() *Thing {
+	return &Thing{rng: rand.New(rand.NewPCG(42, 0xbeef))} // want `exported NewFixed seeds its generator from constant literals`
+}
+
+// NewSeeded plumbs the seed from the caller — the contract's shape.
+func NewSeeded(seed uint64) *Thing {
+	return &Thing{rng: rand.New(rand.NewPCG(seed, 1))}
+}
+
+// NewFromRand accepts a ready generator.
+func NewFromRand(rng *rand.Rand) *Thing { return &Thing{rng: rng} }
+
+// NewFromConfig seeds from runtime data (a struct field), which keeps
+// the knob on the caller's side.
+type Config struct{ Seed uint64 }
+
+func NewFromConfig(cfg Config) *Thing {
+	return &Thing{rng: rand.New(rand.NewPCG(cfg.Seed, 0xA57))}
+}
+
+// NewChaCha with a constant key is just as baked-in as a constant PCG.
+func NewChaCha() *Thing {
+	src := rand.NewChaCha8([32]byte{1, 2, 3}) // want `exported NewChaCha seeds its generator from constant literals`
+	return &Thing{rng: rand.New(src)}
+}
+
+// newFixedInternal is unexported: package-private helpers may pin
+// seeds (tests and defaults do), the contract is about the API.
+func newFixedInternal() *Thing {
+	return &Thing{rng: rand.New(rand.NewPCG(7, 7))}
+}
+
+// NewSuppressed documents why its constant seed is deliberate.
+func NewSuppressed() *Thing {
+	//lint:ignore seedplumb golden reference stream must never vary
+	return &Thing{rng: rand.New(rand.NewPCG(1, 1))}
+}

@@ -1,0 +1,34 @@
+// Package ignore exercises //lint:ignore suppression semantics for the
+// framework's own tests (analysis_test.go flags every call to bad).
+package ignore
+
+func bad() {}
+
+func reported() {
+	bad() // line 8: reported — no directive
+}
+
+func suppressedAbove() {
+	//lint:ignore frametest covered by the design doc
+	bad() // line 13: suppressed by the directive on line 12
+}
+
+func suppressedTrailing() {
+	bad() //lint:ignore frametest same-line trailing form — line 17
+}
+
+func wrongCheckName() {
+	//lint:ignore othercheck reason naming a different analyzer
+	bad() // line 22: NOT suppressed — directive names another check
+}
+
+func missingReason() {
+	//lint:ignore frametest
+	bad() // line 27: NOT suppressed — the directive above is malformed (line 26)
+}
+
+func tooFarAway() {
+	//lint:ignore frametest directives reach one line, not two
+
+	bad() // line 33: NOT suppressed — blank line between directive and call
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleePkgFunc resolves a call whose callee is a package-level
+// function selected off an imported package (possibly via a generic
+// instantiation like rand.N[int]) and returns the package's import
+// path and the function name. ok is false for method calls, calls of
+// local functions, conversions, and builtins.
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	fun := call.Fun
+	// Unwrap explicit generic instantiation: f[T](...) .
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = e.X
+	case *ast.IndexListExpr:
+		fun = e.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// SelectedPkgName resolves a selector expression whose base is an
+// imported package ("crand.Read", "rand.Reader") and returns the
+// import path and selected name.
+func SelectedPkgName(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// RootObject digs through parens, selectors, indexing, and one level
+// of conversion/call wrapping to the object an expression ultimately
+// names: for `s.keys[i]` the field keys, for `byLen(out)` the variable
+// out. It returns nil when no single object anchors the expression.
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			return info.Uses[x.Sel]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// A conversion or single-arg wrapper: follow the operand.
+			if len(x.Args) != 1 {
+				return nil
+			}
+			e = x.Args[0]
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsErrorSentinel reports whether e names a package-level error
+// variable following the ErrXxx naming convention — the shape of this
+// repo's error taxonomy (storage.ErrNotFound, ckpt.ErrCommitAborted,
+// mem.ErrSegv, ...). The returned object is the sentinel's var.
+func IsErrorSentinel(info *types.Info, e ast.Expr) (types.Object, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	n := v.Name()
+	if len(n) < 4 || n[:3] != "Err" || n[3] < 'A' || n[3] > 'Z' {
+		return nil, false
+	}
+	if !types.AssignableTo(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil, false
+	}
+	return v, true
+}
+
+// WalkSameFunc walks n in preorder but does not descend into function
+// literals: the visit stays within one function body, which is the
+// granularity every determinism check reasons at.
+func WalkSameFunc(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}
