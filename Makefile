@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench verify
+.PHONY: build test vet lint race bench benchjson verify
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: one short-mode pass of every
+# benchmark, parsed into BENCH.json (ns/op, B/op, allocs/op per
+# benchmark). CI uploads the file as a per-commit artifact.
+benchjson:
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson > BENCH.json
 
 # The full gate: everything must pass before a change lands.
 verify: build vet lint race

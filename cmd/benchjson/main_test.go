@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Record
+		ok   bool
+	}{
+		{
+			line: "BenchmarkFig1-8   \t      12\t  94700000 ns/op\t  123456 B/op\t  295331 allocs/op",
+			want: Record{Name: "BenchmarkFig1-8", Iterations: 12, NsPerOp: 94700000, BytesPerOp: 123456, AllocsPerOp: 295331},
+			ok:   true,
+		},
+		{
+			// No -benchmem columns: B/op and allocs/op stay -1.
+			line: "BenchmarkTickerHot-4 	 100000 	 15300 ns/op",
+			want: Record{Name: "BenchmarkTickerHot-4", Iterations: 100000, NsPerOp: 15300, BytesPerOp: -1, AllocsPerOp: -1},
+			ok:   true,
+		},
+		{
+			// Custom metrics interleave with the standard ones.
+			line: "BenchmarkSelfHealing-8 	 90 	 13100000 ns/op	 134.0 detected_period_s	 36487 allocs/op",
+			want: Record{Name: "BenchmarkSelfHealing-8", Iterations: 90, NsPerOp: 13100000, BytesPerOp: -1, AllocsPerOp: 36487},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \trepro\t1.2s", ok: false},
+		{line: "BenchmarkBroken notanumber 5 ns/op", ok: false},
+		{line: "Benchmark", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}

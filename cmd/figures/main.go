@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -20,10 +21,19 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed}
 	fail := func(err error) {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

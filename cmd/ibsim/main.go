@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -26,7 +27,15 @@ func main() {
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	includeInit := flag.Bool("init", false, "include the data-initialization burst in the trace")
 	csv := flag.Bool("csv", false, "print the per-timeslice trace as CSV")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "ibsim:", perr)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	m, err := core.Measure(core.MeasureConfig{
 		App:         *app,
@@ -37,6 +46,7 @@ func main() {
 		IncludeInit: *includeInit,
 	})
 	if err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "ibsim:", err)
 		os.Exit(1)
 	}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	tables [-table 2|3|4|all] [-ranks 64] [-seed 7]
+//	tables [-table 2|3|4|all] [-ranks 64] [-seed 7] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -11,16 +11,26 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 2, 3, 4 or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks (the paper's cluster had 64 CPUs)")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed}
 	fail := func(err error) {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}

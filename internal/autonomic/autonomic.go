@@ -290,7 +290,7 @@ type Supervisor struct {
 	// failure instant, so a second failure can land while detection or
 	// recovery of the first is still in progress (nested failures).
 	detecting       bool       // a heartbeat detection round is running
-	pendingRecovery *des.Event // the in-flight respawn, cancellable
+	pendingRecovery des.Event // the in-flight respawn, cancellable
 	pendingFailIter int        // iteration count at the failure being recovered
 	pendingDegraded bool       // the in-flight recovery fell short of the claimed line
 	unrecovered     int        // failures absorbed since the last completed recovery
@@ -535,9 +535,9 @@ func (s *Supervisor) onFailure() {
 		// select-and-restore against the (possibly further decayed)
 		// store; the spawner itself observes this one, no detection
 		// round needed.
-		if s.pendingRecovery != nil {
+		if s.pendingRecovery.Pending() {
 			s.pendingRecovery.Cancel()
-			s.pendingRecovery = nil
+			s.pendingRecovery = des.Event{}
 			s.scheduleRecovery(s.pendingFailIter)
 		}
 		return
@@ -597,7 +597,7 @@ func (s *Supervisor) abandonDetection(t *team) {
 	s.report.FalseSuspicions += t.det.FalseSuspicions()
 	failIter := s.pendingFailIter
 	s.eng.After(s.cfg.HeartbeatTimeout, func() {
-		if s.report.Completed || s.failed != nil || s.cur != nil || s.pendingRecovery != nil {
+		if s.report.Completed || s.failed != nil || s.cur != nil || s.pendingRecovery.Pending() {
 			return
 		}
 		s.scheduleRecovery(failIter)
@@ -659,7 +659,7 @@ func (s *Supervisor) scheduleRecovery(failIter int) {
 	s.pendingFailIter = failIter
 	downtime := s.cfg.RestartOverhead + readTime
 	s.pendingRecovery = s.eng.After(downtime, func() {
-		s.pendingRecovery = nil
+		s.pendingRecovery = des.Event{}
 		s.recover(spaces, line, ok, failIter)
 	})
 }

@@ -54,6 +54,91 @@ func (s *Set) CountBelow(limit uint64) uint64 {
 	return n
 }
 
+// Count is Len: the number of elements, one OnesCount64 per word.
+func (s *Set) Count() uint64 { return s.Len() }
+
+// Any reports whether the set is non-empty without counting it.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionWith adds every element of o to s, word at a time.
+func (s *Set) UnionWith(o *Set) {
+	for uint64(len(s.words)) < uint64(len(o.words)) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNotWith removes every element of o from s (s = s \ o), word at a
+// time.
+func (s *Set) AndNotWith(o *Set) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectWith keeps only elements present in both sets (s = s ∩ o).
+func (s *Set) IntersectWith(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// NextSet returns the smallest element ≥ from, scanning whole zero words
+// in one step. ok is false when no such element exists. It is the
+// allocation-free replacement for ForEach callbacks on hot paths:
+//
+//	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) { ... }
+//
+// Removing the current element (or any element ≤ i) during the loop is
+// safe: the scan never revisits positions below the cursor.
+func (s *Set) NextSet(from uint64) (uint64, bool) {
+	w := from / 64
+	if w >= uint64(len(s.words)) {
+		return 0, false
+	}
+	if v := s.words[w] >> (from % 64); v != 0 {
+		return from + uint64(bits.TrailingZeros64(v)), true
+	}
+	for w++; w < uint64(len(s.words)); w++ {
+		if v := s.words[w]; v != 0 {
+			return w*64 + uint64(bits.TrailingZeros64(v)), true
+		}
+	}
+	return 0, false
+}
+
+// CloneBelow returns an independent copy containing only the elements
+// strictly below limit — the word-level form of the clone-then-truncate
+// snapshot the checkpointers take at a trigger.
+func (s *Set) CloneBelow(limit uint64) *Set {
+	n := (limit + 63) / 64
+	if n > uint64(len(s.words)) {
+		n = uint64(len(s.words))
+	}
+	c := &Set{words: append([]uint64(nil), s.words[:n]...)}
+	if rem := limit % 64; rem != 0 && limit/64 < uint64(len(c.words)) {
+		c.words[limit/64] &= (1 << rem) - 1
+	}
+	return c
+}
+
 // Clear empties the set, retaining capacity.
 func (s *Set) Clear() {
 	for i := range s.words {

@@ -1,0 +1,214 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomSet fills a set with n random elements below limit and returns
+// the element slice for model comparison.
+func randomSet(rng *rand.Rand, n int, limit uint64) *Set {
+	s := &Set{}
+	for i := 0; i < n; i++ {
+		s.Add(rng.Uint64N(limit))
+	}
+	return s
+}
+
+// TestPropertyBulkOpsMatchPerBit checks each word-level bulk operation
+// against the obvious per-bit loop over the same inputs.
+func TestPropertyBulkOpsMatchPerBit(t *testing.T) {
+	const limit = 1000
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewPCG(7, uint64(trial)))
+		a := randomSet(rng, 200, limit)
+		b := randomSet(rng, 200, limit)
+
+		union := a.Clone()
+		union.UnionWith(b)
+		diff := a.Clone()
+		diff.AndNotWith(b)
+		inter := a.Clone()
+		inter.IntersectWith(b)
+
+		for i := uint64(0); i < limit; i++ {
+			if want := a.Has(i) || b.Has(i); union.Has(i) != want {
+				t.Fatalf("trial %d: UnionWith wrong at %d", trial, i)
+			}
+			if want := a.Has(i) && !b.Has(i); diff.Has(i) != want {
+				t.Fatalf("trial %d: AndNotWith wrong at %d", trial, i)
+			}
+			if want := a.Has(i) && b.Has(i); inter.Has(i) != want {
+				t.Fatalf("trial %d: IntersectWith wrong at %d", trial, i)
+			}
+		}
+		if union.Count() != union.Len() {
+			t.Fatalf("Count != Len")
+		}
+		if a.Any() != (a.Len() > 0) {
+			t.Fatalf("Any disagrees with Len")
+		}
+	}
+}
+
+// TestPropertyNextSetMatchesForEach checks the iterator visits exactly
+// the ForEach order.
+func TestPropertyNextSetMatchesForEach(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewPCG(11, uint64(trial)))
+		s := randomSet(rng, int(rng.Uint64N(300)), 2000)
+
+		var want []uint64
+		s.ForEach(func(i uint64) bool { want = append(want, i); return true })
+
+		var got []uint64
+		for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: NextSet visited %d, ForEach %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order diverges at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNextSetRemoveDuringIteration pins the contract finishDrain relies
+// on: removing the current element mid-loop must not derail the scan.
+func TestNextSetRemoveDuringIteration(t *testing.T) {
+	s := &Set{}
+	for _, i := range []uint64{0, 1, 63, 64, 65, 127, 128, 500} {
+		s.Add(i)
+	}
+	var got []uint64
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		got = append(got, i)
+		s.Remove(i)
+	}
+	want := []uint64{0, 1, 63, 64, 65, 127, 128, 500}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+	if s.Any() {
+		t.Fatal("set should be empty after remove-during-iteration sweep")
+	}
+}
+
+// TestPropertyCloneBelow checks CloneBelow against ForEachBelow+Add.
+func TestPropertyCloneBelow(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewPCG(13, uint64(trial)))
+		s := randomSet(rng, 300, 2000)
+		limit := rng.Uint64N(2100) // sometimes past the set's extent
+
+		got := s.CloneBelow(limit)
+		want := &Set{}
+		s.ForEachBelow(limit, func(i uint64) bool { want.Add(i); return true })
+
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d limit %d: CloneBelow has %d elements, want %d",
+				trial, limit, got.Len(), want.Len())
+		}
+		want.ForEach(func(i uint64) bool {
+			if !got.Has(i) {
+				t.Fatalf("trial %d limit %d: CloneBelow missing %d", trial, limit, i)
+			}
+			return true
+		})
+		// Independence: mutating the clone must not touch the source.
+		before := s.Len()
+		got.Clear()
+		if s.Len() != before {
+			t.Fatalf("trial %d: CloneBelow aliases the source", trial)
+		}
+	}
+}
+
+// TestZeroAllocBulkOps pins the allocation-free property of the word
+// loops on pre-sized sets.
+func TestZeroAllocBulkOps(t *testing.T) {
+	a, b := &Set{}, &Set{}
+	for i := uint64(0); i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := uint64(0); i < 4096; i += 5 {
+		b.Add(i)
+	}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"UnionWith", func() { a.UnionWith(b) }},
+		{"AndNotWith", func() { a.AndNotWith(b) }},
+		{"IntersectWith", func() { a.IntersectWith(b) }},
+		{"Count", func() { _ = a.Count() }},
+		{"Any", func() { _ = a.Any() }},
+		{"CountBelow", func() { _ = a.CountBelow(1000) }},
+		{"NextSetSweep", func() {
+			for i, ok := a.NextSet(0); ok; i, ok = a.NextSet(i + 1) {
+			}
+		}},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %v/op, want 0", c.name, allocs)
+		}
+	}
+}
+
+func BenchmarkNextSetSweep(b *testing.B) {
+	s := &Set{}
+	for i := uint64(0); i < 1<<18; i += 7 {
+		s.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var count int
+		for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+			count++
+		}
+		if count == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkForEachSweep(b *testing.B) {
+	s := &Set{}
+	for i := uint64(0); i < 1<<18; i += 7 {
+		s.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var count int
+		s.ForEach(func(uint64) bool { count++; return true })
+		if count == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x, y := &Set{}, &Set{}
+	for i := uint64(0); i < 1<<18; i += 3 {
+		x.Add(i)
+	}
+	for i := uint64(0); i < 1<<18; i += 5 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		x.UnionWith(y)
+	}
+}

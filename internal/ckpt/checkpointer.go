@@ -105,6 +105,11 @@ type Checkpointer struct {
 	prevM    mem.MapHook
 	running  bool
 
+	// Single-entry fault cache, same rationale as the tracker's:
+	// consecutive faults repeat the region, so skip the map lookup.
+	lastFaultR  *mem.Region
+	lastFaultRS *bitset.Set
+
 	seq           uint64
 	epoch         uint64
 	took          bool // a first (full, chain-basing) checkpoint was taken
@@ -210,10 +215,14 @@ func (c *Checkpointer) protectAll() {
 }
 
 func (c *Checkpointer) onFault(f mem.Fault) {
-	rs := c.dirty[f.Region]
-	if rs == nil {
-		rs = &bitset.Set{}
-		c.dirty[f.Region] = rs
+	rs := c.lastFaultRS
+	if f.Region != c.lastFaultR {
+		rs = c.dirty[f.Region]
+		if rs == nil {
+			rs = &bitset.Set{}
+			c.dirty[f.Region] = rs
+		}
+		c.lastFaultR, c.lastFaultRS = f.Region, rs
 	}
 	idx := f.Region.PageIndex(f.Page)
 	rs.Add(idx)
@@ -246,6 +255,9 @@ func (c *Checkpointer) onMap(r *mem.Region, mapped bool) {
 		if rs, ok := c.dirty[r]; ok {
 			c.excludedAccum += rs.CountBelow(r.Pages())
 			delete(c.dirty, r)
+		}
+		if r == c.lastFaultR {
+			c.lastFaultR, c.lastFaultRS = nil, nil
 		}
 		delete(c.excluded, r)
 		delete(c.drainSet, r)
@@ -323,10 +335,10 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 				delete(c.dirty, r)
 				continue
 			}
-			rs.ForEachBelow(r.Pages(), func(idx uint64) bool {
+			limit := r.Pages()
+			for idx, ok := rs.NextSet(0); ok && idx < limit; idx, ok = rs.NextSet(idx + 1) {
 				capture(r, idx)
-				return true
-			})
+			}
 		}
 	}
 	// CoW drain window for the next segment's accounting.

@@ -109,8 +109,8 @@ type TwoPhaseOptions struct {
 type pendingCommit struct {
 	g       GlobalResult
 	acks    int
-	ackEvs  []*des.Event
-	timeout *des.Event
+	ackEvs  []des.Event
+	timeout des.Event
 	done    func(GlobalResult, error)
 	aborted bool
 }
@@ -188,9 +188,7 @@ func (co *Coordinator) onAck(p *pendingCommit) {
 	if p.acks < len(co.cps) {
 		return
 	}
-	if p.timeout != nil {
-		p.timeout.Cancel()
-	}
+	p.timeout.Cancel()
 	marker := CommitMarker{Seq: p.g.Seq, Ranks: len(co.cps), At: co.eng.Now()}
 	if err := co.cps[0].Store().Put(CommitKey(p.g.Seq), EncodeCommitMarker(marker)); err != nil {
 		co.abortPending(p, fmt.Errorf("ckpt: seq %d commit marker refused (%v): %w", p.g.Seq, err, ErrCommitAborted))
@@ -232,9 +230,7 @@ func (co *Coordinator) abortPending(p *pendingCommit, reason error) {
 	for _, ev := range p.ackEvs {
 		ev.Cancel()
 	}
-	if p.timeout != nil {
-		p.timeout.Cancel()
-	}
+	p.timeout.Cancel()
 	co.deleteLine(p.g.Seq)
 	co.pending = nil
 	p.done(GlobalResult{}, reason)

@@ -95,12 +95,8 @@ func (c *Checkpointer) CheckpointOverlapped(onDone func(Result, error)) error {
 				delete(c.dirty, r)
 				continue
 			}
-			clone := &bitset.Set{}
-			rs.ForEachBelow(r.Pages(), func(idx uint64) bool {
-				clone.Add(idx)
-				return true
-			})
-			pages += clone.Len()
+			clone := rs.CloneBelow(r.Pages())
+			pages += clone.Count()
 			d.pending[r] = clone
 		}
 	}
@@ -173,10 +169,9 @@ func (c *Checkpointer) overlapUnmap(r *mem.Region) {
 	if rs == nil {
 		return
 	}
-	rs.ForEach(func(idx uint64) bool {
+	for idx, ok := rs.NextSet(0); ok; idx, ok = rs.NextSet(idx + 1) {
 		c.capturePending(d, r, idx)
-		return true
-	})
+	}
 	delete(d.pending, r)
 }
 
@@ -192,14 +187,13 @@ func (c *Checkpointer) finishDrain() {
 		if r.Dead() {
 			continue // already captured by overlapUnmap
 		}
-		rs.ForEachBelow(r.Pages(), func(idx uint64) bool {
-			// ForEach on a set we mutate during iteration: collect
-			// first would be cleaner, but capturePending only
-			// removes the *current* element, which the word-wise
-			// iterator has already passed.
+		// capturePending removes the current element while we iterate,
+		// which NextSet tolerates: the cursor never revisits positions
+		// at or below the one just captured.
+		limit := r.Pages()
+		for idx, ok := rs.NextSet(0); ok && idx < limit; idx, ok = rs.NextSet(idx + 1) {
 			c.capturePending(d, r, idx)
-			return true
-		})
+		}
 	}
 	var enc []byte
 	var payload uint64

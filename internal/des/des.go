@@ -11,10 +11,16 @@
 // Working Set, Incremental Bandwidth) are ratios of bytes to virtual time,
 // so no host-level parallelism inside one simulation is needed. Experiment
 // sweeps parallelise across independent Engine instances instead.
+//
+// The event queue is allocation-free in steady state: events live in a slot
+// arena recycled through a free-list, the priority queue is an index-based
+// 4-ary min-heap (shallower than a binary heap, and its four-child nodes
+// share cache lines), and Event handles are small values validated by a
+// per-slot generation counter, so Schedule and Step perform no heap
+// allocations once the arena has reached its high-water mark.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -48,58 +54,72 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 // FromSeconds converts a floating-point number of seconds to a Time.
 func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Engine.Schedule and friends.
+// Event is a handle to a scheduled callback, returned by Engine.Schedule
+// and friends. It is a small value: copy it freely, compare it to the zero
+// Event to test "no event". The zero Event is inert — Cancel and Pending
+// on it report false.
+//
+// Handles are generation-checked: the engine recycles event storage after
+// an event fires, and a handle carries the generation it was issued for,
+// so Cancel through a stale handle (the event already fired or was
+// cancelled) is a detected no-op rather than an aliased write to whatever
+// event now occupies the storage.
 type Event struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
 	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // index in the heap, -1 when not queued
-	dead bool
 }
 
 // Time reports the virtual time at which the event will fire (or fired).
-func (e *Event) Time() Time { return e.at }
+func (e Event) Time() Time { return e.at }
 
 // Cancel removes the event from the queue. Cancelling an event that has
 // already fired or been cancelled is a no-op. Cancel reports whether the
 // event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.dead || e.idx < 0 {
+func (e Event) Cancel() bool {
+	if e.eng == nil {
 		return false
 	}
-	e.dead = true
+	s := &e.eng.slots[e.slot]
+	if s.gen != e.gen || s.dead {
+		return false
+	}
+	s.dead = true
 	return true
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Pending reports whether the event is still queued: scheduled, not yet
+// fired and not cancelled. The zero Event is never pending.
+func (e Event) Pending() bool {
+	if e.eng == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	s := &e.eng.slots[e.slot]
+	return s.gen == e.gen && !s.dead
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+
+// eventSlot is the arena storage behind one queued event. Slots are
+// recycled through the engine's free-list; gen increments at each reap so
+// stale handles cannot alias a successor event in the same slot.
+type eventSlot struct {
+	fn   func()
+	gen  uint32
+	dead bool
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
+
+// heapNode is one entry of the 4-ary min-heap. The ordering key (at, seq)
+// is stored inline so sift comparisons never chase into the arena.
+type heapNode struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+
+// before is the heap order: earliest time first, FIFO tie-break on the
+// schedule sequence.
+func (n heapNode) before(m heapNode) bool {
+	return n.at < m.at || (n.at == m.at && n.seq < m.seq)
 }
 
 // Engine owns the virtual clock and the pending-event queue.
@@ -107,7 +127,9 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []heapNode
+	slots   []eventSlot
+	free    []int32
 	stopped bool
 	fired   uint64
 }
@@ -126,27 +148,100 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports the number of events still queued (including cancelled
 // events not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule queues fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) panics: it would silently corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("des: schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		slot = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[slot]
+	s.fn = fn
+	s.dead = false
+	e.push(heapNode{at: at, seq: e.seq, slot: slot})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return Event{eng: e, slot: slot, gen: s.gen, at: at}
 }
 
 // After queues fn to run d after the current virtual time.
 // A negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.Schedule(e.now+d, fn)
+}
+
+// push inserts n into the 4-ary heap (sift-up).
+func (e *Engine) push(n heapNode) {
+	h := append(e.heap, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !n.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+	e.heap = h
+}
+
+// pop removes and returns the minimum heap node.
+func (e *Engine) pop() heapNode {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	n := h[last]
+	h = h[:last]
+	e.heap = h
+	if last > 0 {
+		// Sift n down from the root.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= len(h) {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > len(h) {
+				end = len(h)
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(n) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = n
+	}
+	return top
+}
+
+// reap frees the arena slot behind a popped node: drop the callback so the
+// GC can collect its closure, bump the generation so outstanding handles
+// go stale, and return the slot to the free-list.
+func (e *Engine) reap(slot int32) {
+	s := &e.slots[slot]
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, slot)
 }
 
 // Stop makes the currently executing Run return after the in-flight event
@@ -156,14 +251,18 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
+	for len(e.heap) > 0 {
+		n := e.pop()
+		s := &e.slots[n.slot]
+		if s.dead {
+			e.reap(n.slot)
 			continue
 		}
-		e.now = ev.at
+		fn := s.fn
+		e.reap(n.slot)
+		e.now = n.at
 		e.fired++
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -177,24 +276,24 @@ func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
 	var n uint64
 	for !e.stopped {
-		// Peek for the next live event.
-		var next *Event
-		for len(e.queue) > 0 {
-			if e.queue[0].dead {
-				heap.Pop(&e.queue)
-				continue
-			}
-			next = e.queue[0]
+		// Reap cancelled events off the top without firing them.
+		for len(e.heap) > 0 && e.slots[e.heap[0].slot].dead {
+			d := e.pop()
+			e.reap(d.slot)
+		}
+		if len(e.heap) == 0 {
 			break
 		}
-		if next == nil {
-			break
-		}
-		if next.at > until {
+		if e.heap[0].at > until {
 			e.now = until
 			break
 		}
-		e.Step()
+		top := e.pop()
+		fn := e.slots[top.slot].fn
+		e.reap(top.slot)
+		e.now = top.at
+		e.fired++
+		fn()
 		n++
 	}
 	return n
@@ -207,7 +306,8 @@ type Ticker struct {
 	eng    *Engine
 	period Time
 	fn     func(Time)
-	ev     *Event
+	fire   func() // the single closure re-armed every period
+	ev     Event
 	done   bool
 }
 
@@ -219,12 +319,9 @@ func (e *Engine) NewTicker(period Time, fn func(Time)) *Ticker {
 		panic("des: ticker period must be positive")
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.period, func() {
+	// One closure for the ticker's whole lifetime: re-arming schedules the
+	// same func value, so steady-state ticking performs no allocations.
+	t.fire = func() {
 		if t.done {
 			return
 		}
@@ -233,7 +330,13 @@ func (t *Ticker) arm() {
 		if !t.done {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, t.fire)
 }
 
 // Stop cancels the ticker. Safe to call from inside the callback.

@@ -252,7 +252,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		e := NewEngine()
 		total := int(n%64) + 1
 		fired := make([]bool, total)
-		evs := make([]*Event, total)
+		evs := make([]Event, total)
 		for i := 0; i < total; i++ {
 			i := i
 			evs[i] = e.Schedule(Time(rng.IntN(1000))*Millisecond, func() { fired[i] = true })

@@ -156,16 +156,18 @@ func (r *Region) Dead() bool { return r.dead }
 func (r *Region) Seq() uint64 { return r.seq }
 
 // Pages returns the number of pages in the region.
-func (r *Region) Pages() uint64 { return r.size / r.space.cfg.PageSize }
+func (r *Region) Pages() uint64 { return r.size >> r.space.pageShift }
 
 // PageIndex converts an address inside the region to a page index.
+// The page size is a power of two, so this is a shift, not a hardware
+// divide — it sits on the per-fault and per-write hot paths.
 func (r *Region) PageIndex(addr uint64) uint64 {
-	return (addr - r.start) / r.space.cfg.PageSize
+	return (addr - r.start) >> r.space.pageShift
 }
 
 // PageAddr converts a page index to the page's base address.
 func (r *Region) PageAddr(idx uint64) uint64 {
-	return r.start + idx*r.space.cfg.PageSize
+	return r.start + idx<<r.space.pageShift
 }
 
 // Protected reports whether the page holding addr is write-protected.
@@ -197,6 +199,30 @@ func (r *Region) UnprotectAll() {
 	for i := range r.wp {
 		r.wp[i] = 0
 	}
+}
+
+// anyProtected reports whether any page in [first, last] (inclusive page
+// indexes) is write-protected, testing the bitmap a 64-page word at a time.
+// It is the gate for the unprotected-write fast path: after the first
+// fault of a timeslice unprotects a page, every later write to it answers
+// this with at most three word loads and no per-page bit arithmetic.
+func (r *Region) anyProtected(first, last uint64) bool {
+	fw, lw := first/64, last/64
+	if fw == lw {
+		// (1<<64)-1 is all-ones under Go's shift semantics, so a full
+		// 64-page span degrades gracefully.
+		mask := (uint64(1)<<(last-first+1) - 1) << (first % 64)
+		return r.wp[fw]&mask != 0
+	}
+	if r.wp[fw]>>(first%64) != 0 {
+		return true
+	}
+	for w := fw + 1; w < lw; w++ {
+		if r.wp[w] != 0 {
+			return true
+		}
+	}
+	return r.wp[lw]&(uint64(1)<<(last%64+1)-1) != 0
 }
 
 // trimBitmap clears bits beyond the last page so popcounts stay exact.
@@ -265,6 +291,8 @@ type AddressSpace struct {
 	handler FaultHandler
 	mapHook MapHook
 
+	pageShift uint // log2(PageSize)
+
 	mmapNext uint64
 	mmapFree []span // reusable gaps from unmapped arenas
 	seq      uint64
@@ -287,7 +315,7 @@ func NewAddressSpace(cfg Config) *AddressSpace {
 	if cfg.PageSize&(cfg.PageSize-1) != 0 {
 		panic(fmt.Sprintf("mem: page size %d is not a power of two", cfg.PageSize))
 	}
-	s := &AddressSpace{cfg: cfg, mmapNext: mmapBase}
+	s := &AddressSpace{cfg: cfg, mmapNext: mmapBase, pageShift: uint(bits.TrailingZeros64(cfg.PageSize))}
 	s.stack = s.insert(stackTop-stackSize, stackSize, Stack)
 	return s
 }
@@ -333,7 +361,7 @@ func (s *AddressSpace) roundUp(n uint64) uint64 {
 func (s *AddressSpace) insert(start, size uint64, kind Kind) *Region {
 	r := &Region{start: start, size: size, kind: kind, space: s, seq: s.seq}
 	s.seq++
-	nPages := size / s.cfg.PageSize
+	nPages := size >> s.pageShift
 	r.wp = make([]uint64, (nPages+63)/64)
 	if !s.cfg.Phantom {
 		r.data = make([][]byte, nPages)
@@ -346,11 +374,11 @@ func (s *AddressSpace) insert(start, size uint64, kind Kind) *Region {
 }
 
 func (s *AddressSpace) remove(r *Region) {
-	for i, q := range s.regions {
-		if q == r {
-			s.regions = append(s.regions[:i], s.regions[i+1:]...)
-			break
-		}
+	// The live list is sorted by start, so the victim's index is a binary
+	// search away — removal stays O(log n + move), not a linear scan.
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].start >= r.start })
+	if i < len(s.regions) && s.regions[i] == r {
+		s.regions = append(s.regions[:i], s.regions[i+1:]...)
 	}
 	r.dead = true
 	if s.lastHit == r {
@@ -620,9 +648,39 @@ func (s *AddressSpace) checkRange(addr, n uint64) (*Region, error) {
 	return r, nil
 }
 
+// copyIn stores data into the region starting at addr, page by page. The
+// caller guarantees the range lies inside the region and faults have been
+// resolved; the page walk is index-based so the per-page address
+// arithmetic of the generic path is paid once, not per chunk.
+func (r *Region) copyIn(addr uint64, data []byte) {
+	ps := r.space.cfg.PageSize
+	idx := r.PageIndex(addr)
+	po := addr & (ps - 1)
+	for len(data) > 0 {
+		chunk := ps - po
+		if chunk > uint64(len(data)) {
+			chunk = uint64(len(data))
+		}
+		pd := r.data[idx]
+		if pd == nil {
+			pd = make([]byte, ps)
+			r.data[idx] = pd
+		}
+		copy(pd[po:po+chunk], data[:chunk])
+		data = data[chunk:]
+		idx++
+		po = 0
+	}
+}
+
 // Write stores data at addr, faulting on protected pages first. In
 // phantom mode the bytes are discarded but protection checks, fault
 // delivery and accounting behave identically.
+//
+// The common case — every page in range already unprotected, i.e. any
+// write after the first fault of the timeslice — takes a fast path: one
+// word-level bitmap test, no Fault construction, no per-page protection
+// checks.
 func (s *AddressSpace) Write(addr uint64, data []byte) error {
 	n := uint64(len(data))
 	if n == 0 {
@@ -631,6 +689,13 @@ func (s *AddressSpace) Write(addr uint64, data []byte) error {
 	r, err := s.checkRange(addr, n)
 	if err != nil {
 		return err
+	}
+	if !r.anyProtected(r.PageIndex(addr), r.PageIndex(addr+n-1)) {
+		if !s.cfg.Phantom {
+			r.copyIn(addr, data)
+		}
+		s.writeBytes += n
+		return nil
 	}
 	ps := s.cfg.PageSize
 	for off := uint64(0); off < n; {
@@ -721,15 +786,25 @@ func (s *AddressSpace) WriteRange(addr, n uint64) error {
 	if !s.cfg.Phantom {
 		s.writeSeq++
 		v := s.writeSeq
-		for off := uint64(0); off < n; {
-			pageEnd := (addr + off + ps) &^ (ps - 1)
-			chunk := min(n-off, pageEnd-(addr+off))
-			pd := r.PageData(addr + off)
-			po := (addr + off) & (ps - 1)
-			for i := uint64(0); i < chunk; i++ {
-				pd[po+i] = v
+		idx := first
+		po := addr & (ps - 1)
+		for rem := n; rem > 0; {
+			chunk := ps - po
+			if chunk > rem {
+				chunk = rem
 			}
-			off += chunk
+			pd := r.data[idx]
+			if pd == nil {
+				pd = make([]byte, ps)
+				r.data[idx] = pd
+			}
+			fill := pd[po : po+chunk]
+			for i := range fill {
+				fill[i] = v
+			}
+			rem -= chunk
+			idx++
+			po = 0
 		}
 	}
 	s.writeBytes += n

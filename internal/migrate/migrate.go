@@ -220,11 +220,11 @@ func (m *Migrator) snapshotDirty() uint64 {
 			delete(m.dirty, r)
 			continue
 		}
-		rs.ForEachBelow(r.Pages(), func(idx uint64) bool {
+		limit := r.Pages()
+		for idx, ok := rs.NextSet(0); ok && idx < limit; idx, ok = rs.NextSet(idx + 1) {
 			m.copyPage(r, idx)
 			pages++
-			return true
-		})
+		}
 		rs.Clear()
 	}
 	m.protectAll()

@@ -1,0 +1,64 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile
+// flags into the command-line tools so hot paths can be inspected with
+// `go tool pprof` without editing the binaries.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	cpu string
+	mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if -cpuprofile was given. The returned
+// stop function must run before the process exits (including error
+// exits — flush profiles before os.Exit); it also writes the heap
+// profile if -memprofile was given. With neither flag set, Start is a
+// no-op and stop is cheap to call.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.cpu != "" {
+		cpuFile, err = os.Create(f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.mem != "" {
+			mf, err := os.Create(f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

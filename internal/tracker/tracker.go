@@ -111,6 +111,12 @@ type Tracker struct {
 	dirty    map[*mem.Region]*bitset.Set
 	excluded map[*mem.Region]bool // regions never protected (bounce buffers)
 
+	// Single-entry fault cache: consecutive faults overwhelmingly hit the
+	// same region (the sweep walks one arena), so the per-fault map lookup
+	// is skipped while the region repeats.
+	lastFaultR  *mem.Region
+	lastFaultRS *bitset.Set
+
 	ticker      *des.Ticker
 	prevFault   mem.FaultHandler
 	prevMap     mem.MapHook
@@ -235,10 +241,14 @@ func (t *Tracker) protectAll() uint64 {
 // charge the fault cost. A previously installed handler (e.g. a
 // checkpointer's) is chained afterwards so mechanisms can stack.
 func (t *Tracker) onFault(f mem.Fault) {
-	rs := t.dirty[f.Region]
-	if rs == nil {
-		rs = &bitset.Set{}
-		t.dirty[f.Region] = rs
+	rs := t.lastFaultRS
+	if f.Region != t.lastFaultR {
+		rs = t.dirty[f.Region]
+		if rs == nil {
+			rs = &bitset.Set{}
+			t.dirty[f.Region] = rs
+		}
+		t.lastFaultR, t.lastFaultRS = f.Region, rs
 	}
 	rs.Add(f.Region.PageIndex(f.Page))
 	f.Region.SetProtected(f.Page, false)
@@ -272,6 +282,9 @@ func (t *Tracker) onMap(r *mem.Region, mapped bool) {
 	if rs, ok := t.dirty[r]; ok {
 		t.sliceExcluded += rs.CountBelow(r.Pages()) * t.space.PageSize()
 		delete(t.dirty, r)
+	}
+	if r == t.lastFaultR {
+		t.lastFaultR, t.lastFaultRS = nil, nil
 	}
 	delete(t.excluded, r)
 	if t.prevMap != nil {
@@ -316,7 +329,10 @@ func (t *Tracker) onAlarm(at des.Time) {
 	if t.opts.keepSamples {
 		t.samples = append(t.samples, s)
 	} else {
-		t.samples = append(t.samples[:0], s)
+		// Fresh slice, not append(t.samples[:0], s): a caller holding a
+		// slice from an earlier Samples() call must not see its contents
+		// rewritten in place.
+		t.samples = []Sample{s}
 	}
 	if t.opts.OnSample != nil {
 		t.opts.OnSample(s)

@@ -436,3 +436,39 @@ func BenchmarkTrackerSweep(b *testing.B) {
 		eng.Run(t0)
 	}
 }
+
+// TestSamplesNoAliasingWithoutRetention is the regression test for the
+// keep-last-sample branch: a slice obtained from Samples() before a
+// later alarm must not have its contents rewritten in place.
+func TestSamplesNoAliasingWithoutRetention(t *testing.T) {
+	eng, sp, tr := setup(t, des.Second)
+	r, _ := sp.Mmap(100 * pageSize)
+	tr.WithoutSamples()
+	tr.Start()
+
+	eng.Schedule(100*des.Millisecond, func() {
+		if err := sp.WriteRange(r.Start(), 10*pageSize); err != nil {
+			t.Error(err)
+		}
+	})
+	var held []Sample
+	eng.Schedule(1050*des.Millisecond, func() { held = tr.Samples() })
+	eng.Schedule(1100*des.Millisecond, func() {
+		if err := sp.WriteRange(r.Start(), 3*pageSize); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run(2 * des.Second)
+	tr.Stop()
+
+	if len(held) != 1 || held[0].Index != 0 {
+		t.Fatalf("held = %+v, want the slice-0 sample", held)
+	}
+	if held[0].IWSPages != 10 {
+		t.Fatalf("held sample rewritten in place: IWSPages = %d, want 10", held[0].IWSPages)
+	}
+	cur := tr.Samples()
+	if len(cur) != 1 || cur[0].Index == 0 {
+		t.Fatalf("current samples = %+v, want only the latest", cur)
+	}
+}

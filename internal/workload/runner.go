@@ -158,6 +158,7 @@ type app struct {
 	transient *mem.Region
 	cursor    uint64 // sweep position within the iteration's spans
 	spans     []span
+	spanBuf   [2]span // scratch backing for iterationSpans
 }
 
 func newApp(r *Runner, id int) (*app, error) {
@@ -271,17 +272,20 @@ func (a *app) writeAcross(spans []span, pos, n uint64) {
 
 // iterationSpans returns the sweep spans for the current iteration:
 // the (possibly shifted or spike-extended) persistent window plus the
-// transient arena.
+// transient arena. The returned slice aliases a per-app scratch buffer —
+// it is valid until the next call, which is all the sweep ticks need, and
+// keeps the per-tick hot path allocation-free.
 func (a *app) iterationSpans() []span {
+	spans := a.spanBuf[:0]
 	if a.r.Spec.IsSpike(a.iter) {
 		extended := a.persistentWS + uint64(a.r.Spec.SpikeExtraMB*MB)
-		return []span{{a.sweepBase, extended}}
+		return append(spans, span{a.sweepBase, extended})
 	}
 	shift := uint64(0)
 	if a.shiftBytes > 0 && a.iter%2 == 1 {
 		shift = a.shiftBytes
 	}
-	spans := []span{{a.sweepBase + shift, a.persistentWS}}
+	spans = append(spans, span{a.sweepBase + shift, a.persistentWS})
 	if a.transient != nil {
 		spans = append(spans, span{a.transient.Start(), a.transient.Size()})
 	}
@@ -340,21 +344,25 @@ func (a *app) startIteration() {
 		rate := meanRate * mult
 		perTick := uint64(rate * tick.Seconds())
 		start := jitter + des.Time(bi)*subDur
-		for off := des.Time(0); off+tick <= subDur; off += tick {
-			eng.After(start+off+tick, func() {
-				spans := a.iterationSpans()
-				a.writeAcross(spans, a.cursor, perTick)
-				a.cursor += perTick
-				if dwellBytes > 0 {
-					var total uint64
-					for _, sp := range spans {
-						total += sp.size
-					}
-					if dwellBytes < total {
-						a.writeAcross(spans, a.cursor+total-dwellBytes, dwellBytes)
-					}
+		// One closure serves every tick of this sub-burst: the per-tick
+		// state (cursor, spans) lives on the app, so scheduling the same
+		// func value repeatedly keeps the sweep loop allocation-free.
+		doTick := func() {
+			spans := a.iterationSpans()
+			a.writeAcross(spans, a.cursor, perTick)
+			a.cursor += perTick
+			if dwellBytes > 0 {
+				var total uint64
+				for _, sp := range spans {
+					total += sp.size
 				}
-			})
+				if dwellBytes < total {
+					a.writeAcross(spans, a.cursor+total-dwellBytes, dwellBytes)
+				}
+			}
+		}
+		for off := des.Time(0); off+tick <= subDur; off += tick {
+			eng.After(start+off+tick, doTick)
 		}
 	}
 
@@ -407,13 +415,12 @@ func (a *app) scheduleComm(iterStart des.Time, burst, period des.Time) {
 		}
 	})
 	msg := 0
+	sendOne := func() { a.rank.Send(right, 0, a.msgBytes, nil) }
 	for c := 0; c < clumps && msg < a.nMsgs; c++ {
 		clumpStart := burst + des.Time(float64(window)*(float64(c)+0.3)/float64(clumps))
 		for k := 0; k < perClump && msg < a.nMsgs; k++ {
 			at := clumpStart + des.Time(float64(clumpDur)*float64(k)/float64(perClump))
-			eng.Schedule(iterStart+at, func() {
-				a.rank.Send(right, 0, a.msgBytes, nil)
-			})
+			eng.Schedule(iterStart+at, sendOne)
 			msg++
 		}
 	}
