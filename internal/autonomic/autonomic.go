@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/chaos"
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/des"
@@ -132,6 +133,21 @@ type Config struct {
 	// HeartbeatTimeout declares a peer dead after this much heartbeat
 	// silence (0 → 4×HeartbeatPeriod).
 	HeartbeatTimeout des.Time
+	// Engine, when non-nil, hosts the run on an existing (fresh, clock
+	// at zero) engine instead of a private one. Chaos wiring needs this:
+	// a chaos.Driver binds to an engine before Run, so the driver's
+	// timed storage faults, bit-flip instants and crash schedule share
+	// the run's virtual clock.
+	Engine *des.Engine
+	// Chaos, when non-nil, drives deterministic scheduled failures from
+	// a compiled fault plan bound to Engine: node crashes at planned
+	// instants, crashes aimed inside two-phase commit windows, and — via
+	// the driver's MergeNetFaults, applied automatically — planned
+	// network partitions and brownouts. Storage-layer chaos (outages,
+	// brownouts, bit flips) rides the store the caller wrapped with
+	// Driver.WrapStore. Chaos composes with MTBF: most chaos runs set
+	// MTBF to zero so the plan is the sole failure source.
+	Chaos *chaos.Driver
 	// TwoPhaseCommit switches coordinated checkpoints to the
 	// prepare/commit protocol: ranks write segments in the prepare
 	// phase and a per-line COMMIT marker is written only after every
@@ -196,6 +212,36 @@ func (c Config) validate() error {
 	return nil
 }
 
+// FailureEvent is the per-failure lost-work record: when the failure
+// struck, what it cost, and where recovery landed. The chaos
+// equivalence validator asserts every injected failure carries non-zero
+// accounting — lost iterations, downtime, or wasted checkpoint lines.
+type FailureEvent struct {
+	// At is the virtual time the failure struck.
+	At des.Time
+	// Iter is the completed-iteration count at the failure instant.
+	Iter int
+	// DuringCommit reports that a two-phase commit round was in flight
+	// when the failure struck (the torn-line window).
+	DuringCommit bool
+	// RestoredIter is the iteration of the line recovery restored to
+	// (0 for a scratch restart).
+	RestoredIter int
+	// LostIterations is Iter - RestoredIter: the work that must be
+	// replayed. For nested failures absorbed by one recovery, each
+	// event records its own distance to the common restored line.
+	LostIterations int
+	// WastedCheckpoints counts committed lines newer than the restored
+	// line at recovery time: checkpoints whose cost bought nothing
+	// because the failure forced a rollback past them. Each line is
+	// charged to at most one failure. Recorded on the batch's first
+	// event.
+	WastedCheckpoints int
+	// Downtime is the virtual time from the failure to the rebuilt
+	// team resuming — detection, selection, chain read, respawn.
+	Downtime des.Time
+}
+
 // Report summarises a supervised run.
 type Report struct {
 	Completed  bool
@@ -235,8 +281,22 @@ type Report struct {
 	CheckpointVolumeMB float64
 	// CommitTime is the cumulative stop-and-copy pause.
 	CommitTime des.Time
+	// CommittedLines counts coordinated checkpoint lines the run
+	// recorded as trustworthy (marker-committed under two-phase).
+	CommittedLines int
+	// WastedCheckpoints sums FailureEvent.WastedCheckpoints: committed
+	// lines that rollback invalidated before they were ever restored.
+	WastedCheckpoints int
+	// FailureLog holds one lost-work record per injected failure, in
+	// failure order.
+	FailureLog []FailureEvent
 	// Checksum of the final global interior, for external verification.
 	Checksum float64
+	// SpaceDigests holds, per rank, a digest of the final address
+	// space's checkpointable regions (communication bounce buffers
+	// excluded) — the bit-identity witness the replay validator
+	// compares against a failure-free run.
+	SpaceDigests []uint64
 }
 
 // MeanDetectionLatency averages the measured detection latencies
@@ -280,8 +340,9 @@ type Supervisor struct {
 	rng   *rand.Rand
 
 	cur          *team
-	lastLineIter int            // iteration of the line a recovery would target
-	lineIter     map[uint64]int // committed line seq → iteration it captured
+	lastLineIter int             // iteration of the line a recovery would target
+	lineIter     map[uint64]int  // committed line seq → iteration it captured
+	wastedSeqs   map[uint64]bool // line seqs already charged as wasted to some failure
 	nextSeq      uint64
 	report       Report
 	failed       error
@@ -307,12 +368,22 @@ func Run(cfg Config) (*Report, error) {
 	if store == nil {
 		store = storage.NewMemStore()
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = des.NewEngine()
+	}
+	if cfg.Chaos != nil {
+		// Fold the plan's partition/brownout windows into the interconnect
+		// fault config every team incarnation is built with.
+		cfg.NetFaults = cfg.Chaos.MergeNetFaults(cfg.NetFaults)
+	}
 	s := &Supervisor{
-		cfg:      cfg,
-		eng:      des.NewEngine(),
-		store:    store,
-		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
-		lineIter: make(map[uint64]int),
+		cfg:        cfg,
+		eng:        eng,
+		store:      store,
+		rng:        rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
+		lineIter:   make(map[uint64]int),
+		wastedSeqs: make(map[uint64]bool),
 	}
 	t, err := s.buildTeam(nil, 0)
 	if err != nil {
@@ -321,6 +392,9 @@ func Run(cfg Config) (*Report, error) {
 	s.cur = t
 	s.startTeam()
 	s.scheduleFailure()
+	if cfg.Chaos != nil {
+		cfg.Chaos.StartCrashes(s.onFailure)
+	}
 	s.eng.Run(des.MaxTime)
 	if s.failed != nil {
 		return nil, s.failed
@@ -427,6 +501,7 @@ func (s *Supervisor) startTeam() {
 		s.nextSeq = g.PerRank[0].Seq + 1
 		s.lastLineIter = iter
 		s.lineIter[g.PerRank[0].Seq] = iter
+		s.report.CommittedLines++
 		s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
 		s.report.CommitTime += g.MaxDuration
 		s.eng.After(g.MaxDuration, next)
@@ -464,6 +539,7 @@ func (s *Supervisor) beginTwoPhase(t *team, iter int, next func()) {
 			s.nextSeq = g.PerRank[0].Seq + 1
 			s.lastLineIter = iter
 			s.lineIter[g.PerRank[0].Seq] = iter
+			s.report.CommittedLines++
 			s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
 			s.report.CommitTime += s.eng.Now() - g.At
 			if s.cur != t || s.detecting {
@@ -471,6 +547,17 @@ func (s *Supervisor) beginTwoPhase(t *team, iter int, next func()) {
 			}
 			next()
 		})
+	// A chaos plan may want this round killed mid-commit: after the
+	// prepare started, strictly before the last ack (the earliest instant
+	// the COMMIT marker could be written). If the prepare already resolved
+	// synchronously (storage refusal), there is no window to aim at.
+	if s.cfg.Chaos != nil {
+		if lastAck, open := t.co.PendingLastAck(); open {
+			if delay, hit := s.cfg.Chaos.CommitCrashDelay(s.eng.Now(), lastAck); hit {
+				s.eng.After(delay, s.onFailure)
+			}
+		}
+	}
 }
 
 // finish completes the run: gather the verification checksum.
@@ -491,6 +578,16 @@ func (s *Supervisor) finish(t *team) {
 	s.report.Completed = true
 	s.report.Iterations = t.d.Iter()
 	s.report.Checksum = sum
+	// Per-rank digests of the final process images, restricted to the
+	// checkpoint contract: bounce buffers carry transient wire payloads
+	// and stacks are excluded from checkpoints, so neither may vote on
+	// replay equivalence.
+	for i, c := range t.cps {
+		bounce := t.world.BounceRegion(i)
+		s.report.SpaceDigests = append(s.report.SpaceDigests, c.Space().Digest(func(r *mem.Region) bool {
+			return r == bounce || !r.Kind().Checkpointable()
+		}))
+	}
 	s.eng.Stop()
 }
 
@@ -523,6 +620,16 @@ func (s *Supervisor) onFailure() {
 	s.report.Failures++
 	s.unrecovered++
 	s.scheduleFailure()
+
+	// Open the failure's lost-work record now; recovery completes it.
+	// During detection or an in-flight respawn the computation is already
+	// stopped, so the failure lands at the iteration being recovered.
+	ev := FailureEvent{At: s.eng.Now(), Iter: s.pendingFailIter}
+	if s.cur != nil && !s.detecting {
+		ev.Iter = s.cur.d.Iter()
+		_, ev.DuringCommit = s.cur.co.PendingSeq()
+	}
+	s.report.FailureLog = append(s.report.FailureLog, ev)
 
 	if s.detecting {
 		// The job is already stalled waiting on the first death to be
@@ -723,6 +830,7 @@ func (s *Supervisor) recover(spaces []*mem.AddressSpace, line uint64, haveLine b
 	}
 	s.lastLineIter = startIter
 	s.report.LostIterations += failIter - startIter
+	s.closeFailureRecords(startIter)
 	t, err := s.buildTeam(spaces, startIter)
 	if err != nil {
 		s.fail(err)
@@ -739,6 +847,39 @@ func (s *Supervisor) recover(spaces []*mem.AddressSpace, line uint64, haveLine b
 		s.pendingDegraded = false
 	}
 	s.startTeam()
+}
+
+// closeFailureRecords completes the lost-work record of every failure
+// this recovery absorbs (the last s.unrecovered FailureLog entries):
+// where recovery landed, what each failure cost, and — once per batch —
+// how many committed lines the rollback wasted. A line is wasted when it
+// captured an iteration past the restored point: its commit was paid but
+// recovery could not (or will never) use it. Each seq is charged to at
+// most one failure, and replayed work commits fresh seqs, so re-taken
+// lines are never double-counted.
+func (s *Supervisor) closeFailureRecords(startIter int) {
+	wasted := 0
+	for seq, iter := range s.lineIter {
+		if iter > startIter && !s.wastedSeqs[seq] {
+			s.wastedSeqs[seq] = true
+			wasted++
+		}
+	}
+	s.report.WastedCheckpoints += wasted
+	n := len(s.report.FailureLog)
+	batch := s.unrecovered
+	if batch > n {
+		batch = n
+	}
+	for i := n - batch; i < n; i++ {
+		ev := &s.report.FailureLog[i]
+		ev.RestoredIter = startIter
+		ev.LostIterations = ev.Iter - startIter
+		ev.Downtime = s.eng.Now() - ev.At
+		if i == n-batch {
+			ev.WastedCheckpoints = wasted
+		}
+	}
 }
 
 func (s *Supervisor) fail(err error) {

@@ -1,0 +1,339 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+func mustParse(t *testing.T, text string) *Schedule {
+	t.Helper()
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return s
+}
+
+func TestParseScheduleFull(t *testing.T) {
+	s := mustParse(t, `
+# adversarial burst
+crash at 2s..8s count 2 jitter 300ms group burst
+commit-crash at 1s..30s count 2
+partition at 2s..4s drop 0.85 group burst
+brownout at 6s..9s drop 0.3 slow 2.5
+storage-outage at 7s..8s
+storage-brownout at 2s..10s rate 0.5
+bitflip at 1200ms..5s count 4
+`)
+	if len(s.Specs) != 7 {
+		t.Fatalf("parsed %d specs, want 7", len(s.Specs))
+	}
+	sp := s.Specs[0]
+	if sp.Kind != Crash || sp.From != 2*des.Second || sp.To != 8*des.Second ||
+		sp.Count != 2 || sp.Jitter != 300*des.Millisecond || sp.Group != "burst" {
+		t.Fatalf("crash spec = %+v", sp)
+	}
+	if s.Specs[3].Slow != 2.5 || s.Specs[3].Drop != 0.3 {
+		t.Fatalf("brownout spec = %+v", s.Specs[3])
+	}
+	if s.Specs[5].Rate != 0.5 {
+		t.Fatalf("storage-brownout spec = %+v", s.Specs[5])
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":            "",
+		"comments only":    "# nothing\n\n",
+		"unknown kind":     "meteor at 1s..2s",
+		"missing at":       "crash 1s..2s",
+		"bad window":       "crash at 1s-2s",
+		"reversed window":  "crash at 5s..2s",
+		"negative dur":     "crash at -1s..2s",
+		"dangling option":  "crash at 1s..2s count",
+		"unknown option":   "crash at 1s..2s colour red",
+		"bad count":        "crash at 1s..2s count x",
+		"huge count":       "crash at 1s..2s count 1000000",
+		"bad drop":         "partition at 1s..2s drop 1.5",
+		"nan drop":         "partition at 1s..2s drop NaN",
+		"nan rate":         "storage-brownout at 1s..2s rate nan",
+		"nan slow":         "brownout at 1s..2s slow NaN",
+		"huge slow":        "brownout at 1s..2s slow 1e9",
+		"empty window":     "partition at 2s..2s",
+		"garbage duration": "crash at eleventy..2s",
+	} {
+		if _, err := ParseSchedule(text); err == nil {
+			t.Errorf("%s: %q accepted", name, text)
+		}
+	}
+}
+
+// Compilation is a pure function of (schedule, seed): identical twice,
+// different under a different seed, and group-correlated specs land at
+// the same fractional window position.
+func TestCompileDeterministicAndSeeded(t *testing.T) {
+	s := mustParse(t, `
+crash at 2s..8s count 3 jitter 300ms
+partition at 2s..4s
+bitflip at 1s..5s count 2
+`)
+	a, err := s.Compile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Compile(42)
+	c, _ := s.Compile(43)
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatalf("same seed, different crash instants: %v vs %v", a.Crashes, b.Crashes)
+		}
+	}
+	same := len(a.Crashes) == len(c.Crashes)
+	if same {
+		for i := range a.Crashes {
+			if a.Crashes[i] != c.Crashes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seed 42 and 43 compiled identical crash instants: %v", a.Crashes)
+	}
+	if len(a.Crashes) != 3 || len(a.BitFlips) != 2 || len(a.NetWindows) != 1 {
+		t.Fatalf("plan shape: %+v", a)
+	}
+	for i := 1; i < len(a.Crashes); i++ {
+		if a.Crashes[i] < a.Crashes[i-1] {
+			t.Fatalf("crash instants not ascending: %v", a.Crashes)
+		}
+	}
+	for _, at := range a.Crashes {
+		if at < 2*des.Second || at > 8*des.Second {
+			t.Fatalf("crash instant %v escaped its window", at)
+		}
+	}
+}
+
+func TestCompileGroupCorrelation(t *testing.T) {
+	s := mustParse(t, `
+crash at 0s..10s group g
+crash at 100s..110s group g
+`)
+	p, err := s.Compile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same group, same-width windows → same offset from each window start.
+	off0 := p.Crashes[0]
+	off1 := p.Crashes[1] - 100*des.Second
+	if off0 != off1 {
+		t.Fatalf("grouped specs drew different fractions: %v vs %v", off0, off1)
+	}
+}
+
+func TestPlanHorizonAndEvents(t *testing.T) {
+	s := mustParse(t, "crash at 1s..2s\nstorage-outage at 5s..9s")
+	p, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := p.Horizon(); h != 9*des.Second {
+		t.Fatalf("horizon %v, want 9s", h)
+	}
+	if p.Events() != 2 {
+		t.Fatalf("events %d, want 2", p.Events())
+	}
+}
+
+func TestValidateRejectsHostileSpecs(t *testing.T) {
+	nan := func() float64 { var z float64; return z / z }() // NaN without math import
+	for name, sp := range map[string]Spec{
+		"unknown kind": {Kind: BitFlip + 1, To: des.Second},
+		"neg window":   {Kind: Crash, From: -1},
+		"nan drop":     {Kind: Partition, To: des.Second, Drop: nan},
+		"nan rate":     {Kind: StorageBrownout, To: des.Second, Rate: nan},
+		"nan slow":     {Kind: Brownout, To: des.Second, Slow: nan},
+	} {
+		s := &Schedule{Specs: []Spec{sp}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: %+v validated", name, sp)
+		}
+	}
+}
+
+// The driver's timed store: operations inside an outage window refuse
+// with ErrUnavailable, a brownout drops a seeded fraction with
+// ErrTransient, and outside all windows the store is transparent.
+func TestDriverTimedStore(t *testing.T) {
+	s := mustParse(t, "storage-outage at 1s..2s\nstorage-brownout at 3s..5s rate 0.99")
+	p, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine()
+	d := NewDriver(eng, p)
+	st := d.WrapStore(storage.NewMemStore())
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put before any window: %v", err)
+	}
+	var outageErr, brownErr error
+	eng.Schedule(1500*des.Millisecond, func() { _, outageErr = st.Get("k") })
+	eng.Schedule(4*des.Second, func() {
+		// 20 tries at 99% drop: overwhelmingly likely to observe one.
+		for i := 0; i < 20; i++ {
+			if _, err := st.Get("k"); err != nil {
+				brownErr = err
+				return
+			}
+		}
+	})
+	eng.Run(des.MaxTime)
+	if !errors.Is(outageErr, storage.ErrUnavailable) {
+		t.Fatalf("outage-window get: %v", outageErr)
+	}
+	if !errors.Is(brownErr, storage.ErrTransient) {
+		t.Fatalf("brownout-window get: %v", brownErr)
+	}
+	stats := d.Stats()
+	if stats.OutageRefusals == 0 || stats.BrownoutDrops == 0 {
+		t.Fatalf("stats did not count the refusals: %+v", stats)
+	}
+}
+
+// A bit flip mutates exactly one stored bit, silently: the store still
+// serves the key, but the payload differs from what was written.
+func TestDriverBitFlip(t *testing.T) {
+	s := mustParse(t, "bitflip at 1s..2s")
+	p, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine()
+	d := NewDriver(eng, p)
+	st := d.WrapStore(storage.NewMemStore())
+	orig := []byte{0xAA, 0xBB, 0xCC}
+	if err := st.Put("seg", append([]byte(nil), orig...)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.MaxTime)
+	if d.Stats().BitFlips != 1 {
+		t.Fatalf("stats = %+v, want 1 flip", d.Stats())
+	}
+	got, err := st.Get("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^orig[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1 (%x vs %x)", diff, got, orig)
+	}
+}
+
+// A flip instant on an empty store is a counted miss, not a panic.
+func TestDriverBitFlipMiss(t *testing.T) {
+	s := mustParse(t, "bitflip at 1s..2s")
+	p, _ := s.Compile(1)
+	eng := des.NewEngine()
+	d := NewDriver(eng, p)
+	d.WrapStore(storage.NewMemStore())
+	eng.Run(des.MaxTime)
+	if st := d.Stats(); st.BitFlips != 0 || st.BitFlipMisses != 1 {
+		t.Fatalf("stats = %+v, want one miss", st)
+	}
+}
+
+func TestMergeNetFaults(t *testing.T) {
+	s := mustParse(t, "partition at 2s..4s drop 0.9")
+	p, _ := s.Compile(5)
+	d := NewDriver(des.NewEngine(), p)
+
+	// nil base: a fresh config seeded from the plan.
+	cfg := d.MergeNetFaults(nil)
+	if cfg == nil || len(cfg.Windows) != 1 || cfg.Windows[0].ExtraDrop != 0.9 {
+		t.Fatalf("merged from nil: %+v", cfg)
+	}
+
+	// Non-nil base: copied, not mutated.
+	base := &mpi.NetFaultConfig{Seed: 77, Windows: []mpi.DegradedWindow{{From: 0, To: des.Second}}}
+	merged := d.MergeNetFaults(base)
+	if len(base.Windows) != 1 {
+		t.Fatal("base mutated")
+	}
+	if merged.Seed != 77 || len(merged.Windows) != 2 {
+		t.Fatalf("merged: %+v", merged)
+	}
+}
+
+func TestCommitCrashDelayConsumesWindows(t *testing.T) {
+	s := mustParse(t, "commit-crash at 1s..10s count 2")
+	p, _ := s.Compile(3)
+	d := NewDriver(des.NewEngine(), p)
+	now, last := 2*des.Second, 4*des.Second
+	d1, ok := d.CommitCrashDelay(now, last)
+	if !ok || d1 < 0 || now+d1 >= last {
+		t.Fatalf("first delay %v/%v not strictly inside the commit window", d1, ok)
+	}
+	if _, ok := d.CommitCrashDelay(now, last); !ok {
+		t.Fatal("second planned round not consumed")
+	}
+	if _, ok := d.CommitCrashDelay(now, last); ok {
+		t.Fatal("third round killed with only two planned")
+	}
+	if _, ok := d.CommitCrashDelay(20*des.Second, 21*des.Second); ok {
+		t.Fatal("round outside every window killed")
+	}
+}
+
+// FuzzParseSchedule holds the parser to its contract: malformed
+// schedules error, hostile bytes never panic, and anything that parses
+// also validates and compiles.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("crash at 2s..8s count 2 jitter 300ms group burst")
+	f.Add("commit-crash at 1s..30s count 2\npartition at 2s..4s drop 0.85")
+	f.Add("# comment\nstorage-brownout at 2s..10s rate 0.5\nbitflip at 1200ms..5s count 4")
+	f.Add("brownout at 6s..9s drop 0.3 slow 2.5")
+	f.Add("crash at 1s..2s drop NaN")
+	f.Add("crash at -1s..2s")
+	f.Add("storage-outage at 9223372036854775807ns..9223372036854775807ns")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil schedule")
+			}
+			return
+		}
+		if len(s.Specs) == 0 {
+			t.Fatal("empty schedule parsed without error")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed schedule fails validation: %v", err)
+		}
+		p, err := s.Compile(1)
+		if err != nil {
+			t.Fatalf("parsed schedule fails compilation: %v", err)
+		}
+		if p.Events() == 0 {
+			t.Fatal("non-empty schedule compiled to zero events")
+		}
+		// Round-trip sanity on spec kinds' names.
+		for _, sp := range s.Specs {
+			if strings.Contains(sp.Kind.String(), "chaos.Kind") {
+				t.Fatalf("parsed spec has unnamed kind %d", sp.Kind)
+			}
+		}
+	})
+}

@@ -195,6 +195,9 @@ func (c *Checkpointer) Rank() int { return c.opts.Rank }
 // Store returns the stable-storage backend segments persist to.
 func (c *Checkpointer) Store() storage.Store { return c.opts.Store }
 
+// Space returns the address space this checkpointer protects.
+func (c *Checkpointer) Space() *mem.AddressSpace { return c.space }
+
 // Rebase realigns the checkpointer after a failed persist: the next
 // checkpoint is written at seq and is forced full, basing a fresh
 // self-contained chain. A Checkpoint that failed at the store has
@@ -417,12 +420,20 @@ func (c *Checkpointer) skipUnchanged(kind Kind, addr uint64, data []byte) bool {
 }
 
 // LoadSegment fetches and decodes one segment of this checkpointer's rank.
+// A fetch failure keeps the storage tier's typed cause (ErrNotFound,
+// ErrCorrupt, ErrUnavailable, ErrTransient); bytes that fetched but do
+// not decode are typed storage.ErrCorrupt, so callers can tell a missing
+// segment from a rotten one with errors.Is alone.
 func LoadSegment(store storage.Store, rank int, seq uint64) (*Segment, error) {
 	data, err := store.Get(SegmentKey(rank, seq))
 	if err != nil {
 		return nil, err
 	}
-	return DecodeSegment(data)
+	seg, err := DecodeSegment(data)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: segment rank %d seq %d undecodable (%v): %w", rank, seq, err, storage.ErrCorrupt)
+	}
+	return seg, nil
 }
 
 // Restore rebuilds the state captured for rank up to and including

@@ -123,6 +123,24 @@ func (co *Coordinator) PendingSeq() (uint64, bool) {
 	return co.pending.g.Seq, true
 }
 
+// PendingLastAck reports the virtual time the in-flight two-phase
+// round's final prepare ack is scheduled for — the earliest instant the
+// COMMIT marker could be written. A fault injector that wants to land a
+// crash *inside* the commit window (after prepare started, before the
+// marker can exist) aims strictly before this time.
+func (co *Coordinator) PendingLastAck() (des.Time, bool) {
+	if co.pending == nil {
+		return 0, false
+	}
+	var last des.Time
+	for _, ev := range co.pending.ackEvs {
+		if ev.Time() > last {
+			last = ev.Time()
+		}
+	}
+	return last, true
+}
+
 // BeginTwoPhase starts a prepare/commit global checkpoint. The prepare
 // phase writes every rank's segment now; rank i's ack arrives at its
 // sink write time (serialised under Staggered) plus AckDelay; once all

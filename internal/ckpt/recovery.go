@@ -158,22 +158,48 @@ func ChainVolume(store storage.Store, rank int, targetSeq uint64) (uint64, error
 	return total, nil
 }
 
+// RestoreError identifies exactly where a multi-rank restore failed:
+// which rank's chain, at which coordinated sequence, and why. Callers
+// unwrap the cause with the standard taxonomy — errors.Is(err,
+// storage.ErrNotFound) distinguishes a rank whose segment is simply
+// missing from errors.Is(err, storage.ErrCorrupt), a segment whose
+// bytes failed integrity or decode — and so can report (or route
+// around) a torn line precisely instead of guessing from message text.
+type RestoreError struct {
+	// Rank is the rank whose restore chain failed.
+	Rank int
+	// Seq is the coordinated recovery line being restored.
+	Seq uint64
+	// Err is the underlying cause, wrapped for errors.Is/As.
+	Err error
+}
+
+// Error implements error.
+func (e *RestoreError) Error() string {
+	return fmt.Sprintf("ckpt: restore rank %d to line %d: %v", e.Rank, e.Seq, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *RestoreError) Unwrap() error { return e.Err }
+
 // RestoreAll restores every rank to the given coordinated sequence
 // number, returning one fresh address space per rank. Page size is taken
-// from rank 0's target segment.
+// from rank 0's target segment. Any per-rank failure is returned as a
+// *RestoreError naming the rank and sequence that failed, with the
+// cause wrapped.
 func RestoreAll(store storage.Store, ranks int, seq uint64) ([]*mem.AddressSpace, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("ckpt: RestoreAll with %d ranks", ranks)
 	}
 	base, err := LoadSegment(store, 0, seq)
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: recovery line %d: %w", seq, err)
+		return nil, &RestoreError{Rank: 0, Seq: seq, Err: err}
 	}
 	spaces := make([]*mem.AddressSpace, ranks)
 	for r := 0; r < ranks; r++ {
 		sp := mem.NewAddressSpace(mem.Config{PageSize: base.PageSize})
 		if err := Restore(store, r, seq, sp); err != nil {
-			return nil, fmt.Errorf("ckpt: restore rank %d: %w", r, err)
+			return nil, &RestoreError{Rank: r, Seq: seq, Err: err}
 		}
 		spaces[r] = sp
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// A16's headline, pinned: every schedule's torn-and-replayed runs end
+// bit-identical to their references, and each schedule exercises the
+// failure class it names with non-zero lost-work accounting.
+func TestChaosReplayAblation(t *testing.T) {
+	rows, err := ChaosReplayAblation([]uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byName := map[string]ChaosRow{}
+	for _, r := range rows {
+		byName[r.Schedule] = r
+		if r.Completed != r.Runs {
+			t.Errorf("%s: %d/%d runs completed", r.Schedule, r.Completed, r.Runs)
+		}
+		if !r.BitExact {
+			t.Errorf("%s: replay not bit-exact", r.Schedule)
+		}
+		if r.Failures == 0 {
+			t.Errorf("%s: no failures injected", r.Schedule)
+		}
+		if r.ReplayedWork == 0 && r.MeanDowntime == 0 && r.WastedCheckpoints == 0 {
+			t.Errorf("%s: zero lost-work accounting", r.Schedule)
+		}
+		if r.YoungInterval == 0 {
+			t.Errorf("%s: Young interval not computed", r.Schedule)
+		}
+	}
+	if byName["commit-crash"].AbortedCommits == 0 {
+		t.Error("commit-crash schedule aborted no commits")
+	}
+	if byName["bitflip"].BitFlips == 0 {
+		t.Error("bitflip schedule flipped no bits")
+	}
+
+	out := FormatChaos(rows)
+	if !strings.Contains(out, "schedule") || !strings.Contains(out, "commit-crash") {
+		t.Fatalf("table missing expected content:\n%s", out)
+	}
+	if strings.Contains(out, " no ") {
+		t.Fatalf("table reports a non-exact schedule:\n%s", out)
+	}
+}

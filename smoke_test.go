@@ -1,0 +1,51 @@
+package repro
+
+// Build-and-run smoke tests for the runnable examples whose output makes
+// a verifiable claim: each is executed as a subprocess (the way a reader
+// would run it) and its stdout is checked for the success verdict — so a
+// regression that breaks an example's build, crashes it, or silently
+// flips its result to DIVERGED fails CI, not just the reader's first
+// impression.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runExample executes `go run ./examples/<name>` and returns its stdout.
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests compile and run subprocesses")
+	}
+	for _, tc := range []struct {
+		example string
+		verdict string
+	}{
+		{"failure_recovery", "recovery is EXACT"},
+		{"self_healing", "bit-identical result"},
+		{"chaos_replay", "replay is BIT-EXACT"},
+	} {
+		tc := tc
+		t.Run(tc.example, func(t *testing.T) {
+			t.Parallel()
+			out := runExample(t, tc.example)
+			if !strings.Contains(out, tc.verdict) {
+				t.Fatalf("%s output lacks %q:\n%s", tc.example, tc.verdict, out)
+			}
+			if strings.Contains(out, "DIVERG") {
+				t.Fatalf("%s reports divergence:\n%s", tc.example, out)
+			}
+		})
+	}
+}
