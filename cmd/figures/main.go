@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	prof := profiling.AddFlags()
@@ -185,6 +185,15 @@ func main() {
 		}
 		fmt.Println("Ablation: chaos schedules vs crash–restore–replay equivalence (A16), supervised Jacobi, 4 ranks")
 		fmt.Print(experiments.FormatChaos(rows))
+		fmt.Println()
+	}
+	if *fig == "service" || *fig == "all" {
+		rows, err := experiments.ServiceAblation(*seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: checkpoint-store service under load and faults (A17), 3 replicas, 1 s timeslice")
+		fmt.Print(experiments.FormatService(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

@@ -49,6 +49,25 @@ func (o *ReplayOutcome) BitExact() bool { return o.DigestsMatch && o.ChecksumMat
 // disabled in both runs so the plan is the sole failure source and every
 // entry in the injected report's FailureLog is attributable to it.
 func ValidateReplay(cfg Config, sched *chaos.Schedule) (*ReplayOutcome, error) {
+	// Hardened stack with chaos interposed at the bottom: bit flips
+	// corrupt enveloped bytes so IntegrityStore surfaces ErrCorrupt on
+	// read-back; outage/brownout refusals bubble through the retry layer.
+	return ValidateReplayStore(cfg, sched, func(_ *des.Engine, driver *chaos.Driver) storage.Store {
+		return storage.NewResilientStore(
+			storage.NewIntegrityStore(driver.WrapStore(storage.NewMemStore())),
+			storage.DefaultRetryPolicy())
+	})
+}
+
+// ValidateReplayStore is ValidateReplay with a caller-supplied storage
+// stack for the injected run: build receives the injected run's engine
+// and chaos driver and returns the store the supervisor writes through.
+// This is how alternative sinks — a networked checkpoint-store service,
+// a mirror group — are put under the same bit-exactness contract as the
+// default hardened stack: the reference run keeps the pristine in-memory
+// store, so any acked-but-lost write in the injected stack shows up as a
+// digest divergence.
+func ValidateReplayStore(cfg Config, sched *chaos.Schedule, build func(*des.Engine, *chaos.Driver) storage.Store) (*ReplayOutcome, error) {
 	plan, err := sched.Compile(cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("autonomic: replay validation: %w", err)
@@ -71,12 +90,7 @@ func ValidateReplay(cfg Config, sched *chaos.Schedule) (*ReplayOutcome, error) {
 	inj.MTBF = 0
 	inj.Engine = eng
 	inj.Chaos = driver
-	// Hardened stack with chaos interposed at the bottom: bit flips
-	// corrupt enveloped bytes so IntegrityStore surfaces ErrCorrupt on
-	// read-back; outage/brownout refusals bubble through the retry layer.
-	inj.Store = storage.NewResilientStore(
-		storage.NewIntegrityStore(driver.WrapStore(storage.NewMemStore())),
-		storage.DefaultRetryPolicy())
+	inj.Store = build(eng, driver)
 	injReport, err := Run(inj)
 	if err != nil {
 		return nil, fmt.Errorf("autonomic: injected run: %w", err)

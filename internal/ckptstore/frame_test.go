@@ -1,0 +1,117 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: KindRequest, Op: OpPut, Client: 7, ID: 42, Deadline: 12345, Key: "rank003/seg000009", Payload: []byte("segment bytes")},
+		{Kind: KindRequest, Op: OpGet, Client: 0, ID: 1, Key: "commit/seq000001"},
+		{Kind: KindRequest, Op: OpKeys, Client: 99, ID: 3},
+		{Kind: KindResponse, Op: OpPut, Status: StatusOverload, Client: 7, ID: 42, Key: ""},
+		{Kind: KindResponse, Op: OpSize, Status: StatusOK, Client: 1, ID: 2, Payload: encodeSize(1 << 30)},
+	}
+	for _, f := range frames {
+		b := f.Encode()
+		got, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %s frame: %v", f.Op, err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("round trip mismatch:\n put %+v\n got %+v", f, got)
+		}
+		// Canonical codec: re-encoding the decode reproduces the bytes.
+		if !bytes.Equal(got.Encode(), b) {
+			t.Fatalf("%s frame is not canonical", f.Op)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	good := (&Frame{Kind: KindRequest, Op: OpPut, Client: 1, ID: 1, Key: "k", Payload: []byte("v")}).Encode()
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short":            good[:10],
+		"bad magic":        append([]byte("XXXX"), good[4:]...),
+		"bad version":      mutate(good, 4, 9),
+		"bad kind":         mutate(good, 5, 9),
+		"bad op":           mutate(good, 6, 0),
+		"bad status":       mutate(good, 7, 200),
+		"status in req":    mutate(good, 7, uint8(StatusOverload)),
+		"trailing bytes":   append(append([]byte(nil), good...), 0xFF),
+		"truncated body":   good[:len(good)-1],
+		"oversized keylen": mutate(good, 28, 0xFF),
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func mutate(b []byte, i int, v uint8) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+func TestStatusPreservesTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		in        error
+		status    Status
+		transient bool
+	}{
+		{nil, StatusOK, false},
+		{storage.ErrNotFound, StatusNotFound, false},
+		{storage.ErrCorrupt, StatusCorrupt, false},
+		{storage.ErrUnavailable, StatusUnavailable, false},
+		{storage.ErrTransient, StatusTransient, true},
+		{storage.ErrOverload, StatusOverload, true}, // overload beats its transient wrap
+		{storage.ErrDeadlineExceeded, StatusDeadline, false},
+	} {
+		if got := statusOf(tc.in); got != tc.status {
+			t.Errorf("statusOf(%v) = %d, want %d", tc.in, got, tc.status)
+		}
+		err := tc.status.Err(OpPut, "k")
+		if (tc.in == nil) != (err == nil) {
+			t.Fatalf("Status(%d).Err nil-ness mismatch", tc.status)
+		}
+		if err != nil {
+			if storage.IsTransient(err) != tc.transient {
+				t.Errorf("status %d: IsTransient = %v, want %v", tc.status, !tc.transient, tc.transient)
+			}
+			if tc.in != nil && !errors.Is(err, tc.in) {
+				t.Errorf("status %d lost sentinel %v", tc.status, tc.in)
+			}
+		}
+	}
+}
+
+func TestKeysPayloadRoundTrip(t *testing.T) {
+	for _, keys := range [][]string{{}, {"a"}, {"rank000/seg000001", "rank001/seg000001", "commit/seq000001"}} {
+		got, err := decodeKeys(encodeKeys(keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("got %d keys, want %d", len(got), len(keys))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("key %d: %q != %q", i, got[i], keys[i])
+			}
+		}
+	}
+	if _, err := decodeKeys([]byte{1, 0, 0, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated key list: %v", err)
+	}
+	if _, err := decodeSize([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short size payload: %v", err)
+	}
+}

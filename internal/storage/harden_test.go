@@ -3,7 +3,10 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
+
+	"repro/internal/des"
 )
 
 func TestSealOpenRoundTrip(t *testing.T) {
@@ -286,6 +289,100 @@ func TestMirrorStoreContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	storeSuite(t, m)
+}
+
+func TestResilientStoreDeadlineCapsBackoff(t *testing.T) {
+	// A brownout that outlasts the attempt budget: without a deadline the
+	// retry loop would accumulate ~BaseDelay * 2^attempts of virtual
+	// backoff. The deadline must cut the loop short with a *permanent*
+	// ErrDeadlineExceeded so the caller re-plans instead of re-queueing.
+	inner := &flakyStore{Store: NewMemStore(), failsLeft: 1000}
+	deadline := des.Time(50)
+	s := NewResilientStore(inner, RetryPolicy{
+		MaxAttempts: 20, BaseDelay: 16, MaxDelay: 1 << 20, Deadline: deadline, Seed: 5,
+	})
+	err := s.Put("k", []byte("v"))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("deadline exhaustion classified transient: %v", err)
+	}
+	st := s.Stats()
+	if st.Backoff > deadline {
+		t.Fatalf("accumulated backoff %v exceeds deadline %v", st.Backoff, deadline)
+	}
+	if st.Exhausted != 1 {
+		t.Fatalf("Exhausted = %d, want 1", st.Exhausted)
+	}
+	// The same policy without a deadline keeps retrying to MaxAttempts.
+	inner2 := &flakyStore{Store: NewMemStore(), failsLeft: 1000}
+	s2 := NewResilientStore(inner2, RetryPolicy{MaxAttempts: 20, BaseDelay: 16, MaxDelay: 1 << 20, Seed: 5})
+	if err := s2.Put("k", []byte("v")); errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("no-deadline policy reported a deadline: %v", err)
+	}
+	if st2 := s2.Stats(); st2.Retries != 19 {
+		t.Fatalf("Retries = %d, want 19", st2.Retries)
+	}
+}
+
+func TestOverloadClassifiesTransient(t *testing.T) {
+	wrapped := fmt.Errorf("service put %q: %w", "k", ErrOverload)
+	if !IsTransient(wrapped) {
+		t.Fatal("ErrOverload must ride the retry path (IsTransient)")
+	}
+	if !errors.Is(wrapped, ErrOverload) {
+		t.Fatal("wrapped overload lost its ErrOverload identity")
+	}
+	if IsTransient(ErrDeadlineExceeded) {
+		t.Fatal("ErrDeadlineExceeded must be permanent")
+	}
+}
+
+func TestMirrorStoreQuorumAndReplicaCounters(t *testing.T) {
+	dead1 := NewFaultyStore(NewMemStore(), FaultConfig{})
+	dead2 := NewFaultyStore(NewMemStore(), FaultConfig{})
+	alive := NewMemStore()
+	m, err := NewMirrorStore(alive, dead1, dead2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three up: clean put, no tallies.
+	if err := m.Put("a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.PutQuorumFailures != 0 || st.ReplicaErrors[0]+st.ReplicaErrors[1]+st.ReplicaErrors[2] != 0 {
+		t.Fatalf("healthy put tallied faults: %+v", st)
+	}
+	// One replica down: 2/3 landed — degraded but quorum held.
+	dead1.Kill()
+	if err := m.Put("b", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.PutQuorumFailures != 0 {
+		t.Fatalf("2/3 landed but PutQuorumFailures = %d", st.PutQuorumFailures)
+	}
+	if st.DegradedPuts != 1 || st.ReplicaErrors[1] != 1 {
+		t.Fatalf("degraded put not tallied per replica: %+v", st)
+	}
+	// Two replicas down: 1/3 landed — quorum failure, put still "succeeds".
+	dead2.Kill()
+	if err := m.Put("c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.PutQuorumFailures != 1 {
+		t.Fatalf("1/3 landed but PutQuorumFailures = %d", st.PutQuorumFailures)
+	}
+	if st.ReplicaErrors[1] != 2 || st.ReplicaErrors[2] != 1 || st.ReplicaErrors[0] != 0 {
+		t.Fatalf("per-replica tallies wrong: %+v", st.ReplicaErrors)
+	}
+	// Stats copies are snapshots: mutating the copy must not alias.
+	st.ReplicaErrors[0] = 99
+	if m.Stats().ReplicaErrors[0] == 99 {
+		t.Fatal("Stats aliases internal counters")
+	}
 }
 
 // TestHardenedStackEndToEnd composes the full production stack — mirror

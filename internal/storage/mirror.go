@@ -14,12 +14,24 @@ type MirrorStats struct {
 	DegradedPuts uint64
 	// LostPuts counts writes that landed on no replica at all.
 	LostPuts uint64
+	// PutQuorumFailures counts writes that landed on fewer than a
+	// majority of replicas (including total losses): the copies that
+	// exist cannot outvote the copies that are missing, so a subsequent
+	// failover may promote a replica without the data. A service layer
+	// uses this signal to leave sync replication and journal the
+	// replication debt instead of trusting the mirror.
+	PutQuorumFailures uint64
 	// FailoverReads counts Gets served by a non-primary replica after
 	// one or more replicas failed or returned corrupt data.
 	FailoverReads uint64
 	// ReadRepairs counts replicas healed by writing back a value another
 	// replica served.
 	ReadRepairs uint64
+	// ReplicaErrors tallies, per replica (by constructor order), every
+	// operation that replica failed — the observability a degraded-mode
+	// controller needs to tell "replica 2 is dying" from "everything is
+	// a little flaky".
+	ReplicaErrors []uint64
 }
 
 // MirrorStore replicates segments across N sinks — the diskless-peer
@@ -40,14 +52,19 @@ func NewMirrorStore(replicas ...Store) (*MirrorStore, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("storage: mirror needs at least one replica")
 	}
-	return &MirrorStore{replicas: replicas}, nil
+	return &MirrorStore{
+		replicas: replicas,
+		stats:    MirrorStats{ReplicaErrors: make([]uint64, len(replicas))},
+	}, nil
 }
 
 // Stats returns a copy of the degraded-mode counters.
 func (s *MirrorStore) Stats() MirrorStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.ReplicaErrors = append([]uint64(nil), s.stats.ReplicaErrors...)
+	return out
 }
 
 // Replicas returns the replica count.
@@ -58,13 +75,20 @@ func (s *MirrorStore) Put(key string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var errs []error
-	for _, r := range s.replicas {
+	for i, r := range s.replicas {
 		if err := r.Put(key, data); err != nil {
 			errs = append(errs, err)
+			s.stats.ReplicaErrors[i]++
 		}
 	}
+	landed := len(s.replicas) - len(errs)
+	if landed < len(s.replicas)/2+1 {
+		// Fewer copies exist than are missing: a failover cannot be
+		// trusted to find the data.
+		s.stats.PutQuorumFailures++
+	}
 	switch {
-	case len(errs) == len(s.replicas):
+	case landed == 0:
 		s.stats.LostPuts++
 		return fmt.Errorf("storage: mirror put %q lost on all %d replicas: %w", key, len(s.replicas), errors.Join(errs...))
 	case len(errs) > 0:
@@ -80,10 +104,11 @@ func (s *MirrorStore) Get(key string) ([]byte, error) {
 	defer s.mu.Unlock()
 	var errs []error
 	var failed []Store
-	for _, r := range s.replicas {
+	for i, r := range s.replicas {
 		data, err := r.Get(key)
 		if err != nil {
 			errs = append(errs, err)
+			s.stats.ReplicaErrors[i]++
 			// A missing or corrupt copy is repairable; a transient or
 			// down replica is not (writing to it would fail too).
 			if errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) {
@@ -111,7 +136,7 @@ func (s *MirrorStore) Delete(key string) error {
 	defer s.mu.Unlock()
 	var errs []error
 	deleted, missing := 0, 0
-	for _, r := range s.replicas {
+	for i, r := range s.replicas {
 		switch err := r.Delete(key); {
 		case err == nil:
 			deleted++
@@ -119,6 +144,7 @@ func (s *MirrorStore) Delete(key string) error {
 			missing++
 		default:
 			errs = append(errs, err)
+			s.stats.ReplicaErrors[i]++
 		}
 	}
 	switch {
@@ -140,10 +166,11 @@ func (s *MirrorStore) Keys() ([]string, error) {
 	union := make(map[string]bool)
 	var errs []error
 	reachable := 0
-	for _, r := range s.replicas {
+	for i, r := range s.replicas {
 		keys, err := r.Keys()
 		if err != nil {
 			errs = append(errs, err)
+			s.stats.ReplicaErrors[i]++
 			continue
 		}
 		reachable++
@@ -170,10 +197,11 @@ func (s *MirrorStore) Size() (uint64, error) {
 	var best uint64
 	var errs []error
 	reachable := 0
-	for _, r := range s.replicas {
+	for i, r := range s.replicas {
 		n, err := r.Size()
 		if err != nil {
 			errs = append(errs, err)
+			s.stats.ReplicaErrors[i]++
 			continue
 		}
 		reachable++

@@ -17,6 +17,14 @@ type RetryPolicy struct {
 	BaseDelay des.Time
 	// MaxDelay caps the exponential growth.
 	MaxDelay des.Time
+	// Deadline caps the *total* virtual-time backoff an operation may
+	// accumulate across its retries (0 = unbounded). Attempt counts alone
+	// do not bound latency: a long-backoff brownout can hold one Put for
+	// longer than the checkpoint timeslice it serves. When the next
+	// backoff draw would push the op's cumulative backoff past Deadline,
+	// the loop stops and the op fails wrapped in ErrDeadlineExceeded —
+	// a permanent error, so callers re-plan instead of re-queueing.
+	Deadline des.Time
 	// Seed drives the jitter stream deterministically.
 	Seed uint64
 }
@@ -63,6 +71,7 @@ func NewResilientStore(inner Store, policy RetryPolicy) *ResilientStore {
 	if policy.MaxAttempts == 0 {
 		def := DefaultRetryPolicy()
 		def.Seed = policy.Seed
+		def.Deadline = policy.Deadline
 		policy = def
 	}
 	if policy.MaxAttempts < 1 {
@@ -91,6 +100,7 @@ func (s *ResilientStore) do(what, key string, op func() error) error {
 	defer s.mu.Unlock()
 	s.stats.Ops++
 	delay := s.policy.BaseDelay
+	var opBackoff des.Time
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = op(); err == nil || !IsTransient(err) {
@@ -102,7 +112,18 @@ func (s *ResilientStore) do(what, key string, op func() error) error {
 		}
 		// Full jitter over the current window keeps concurrent retriers
 		// from synchronising, deterministically per seed.
-		s.stats.Backoff += des.Time(s.rng.Int64N(int64(delay) + 1))
+		wait := des.Time(s.rng.Int64N(int64(delay) + 1))
+		if s.policy.Deadline > 0 && opBackoff+wait > s.policy.Deadline {
+			// The next wait would outlast the op's virtual-time budget.
+			// Stop with a *permanent* error: the transient cause is kept
+			// for the message but deliberately not wrapped, so the
+			// deadline class wins the errors.Is classification.
+			s.stats.Exhausted++
+			return fmt.Errorf("storage: %s %q: backoff %v would exceed deadline %v after %d attempts (%v): %w",
+				what, key, opBackoff+wait, s.policy.Deadline, attempt, err, ErrDeadlineExceeded)
+		}
+		opBackoff += wait
+		s.stats.Backoff += wait
 		s.stats.Retries++
 		if delay *= 2; delay > s.policy.MaxDelay {
 			delay = s.policy.MaxDelay

@@ -33,7 +33,24 @@ var (
 	// timeouts, momentary contention. Injected faults and real stores
 	// wrap this so ResilientStore knows an operation may be re-issued.
 	ErrTransient = errors.New("storage: transient failure")
+	// ErrDeadlineExceeded reports an operation that could not finish
+	// inside its virtual-time budget — a retry loop whose backoff would
+	// outlast the checkpoint timeslice, or a service op whose modeled
+	// completion falls past its deadline. It is classified permanent by
+	// IsTransient: retrying the same op against the same clock cannot
+	// make the deadline; the caller must re-plan (skip the line, widen
+	// the timeslice, pick another sink).
+	ErrDeadlineExceeded = errors.New("storage: deadline exceeded")
 )
+
+// ErrOverload reports load shedding by an admission controller: the sink
+// is healthy but saturated, and the operation was refused to protect the
+// in-flight work already admitted. It wraps ErrTransient — backing off
+// and retrying is exactly the right response — so IsTransient reports
+// true and ResilientStore rides it out on the existing retry path, while
+// errors.Is(err, ErrOverload) still distinguishes shedding from other
+// transient failures.
+var ErrOverload = fmt.Errorf("storage: overloaded, load shed: %w", ErrTransient)
 
 // IsTransient reports whether err is worth retrying against the same
 // store. Everything not explicitly marked transient — not-found,

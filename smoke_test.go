@@ -35,6 +35,7 @@ func TestExampleSmoke(t *testing.T) {
 		{"failure_recovery", "recovery is EXACT"},
 		{"self_healing", "bit-identical result"},
 		{"chaos_replay", "replay is BIT-EXACT"},
+		{"ckpt_service", "service is LOSSLESS"},
 	} {
 		tc := tc
 		t.Run(tc.example, func(t *testing.T) {
