@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|rdma|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	prof := profiling.AddFlags()
@@ -194,6 +194,15 @@ func main() {
 		}
 		fmt.Println("Ablation: checkpoint-store service under load and faults (A17), 3 replicas, 1 s timeslice")
 		fmt.Print(experiments.FormatService(rows))
+		fmt.Println()
+	}
+	if *fig == "rdma" || *fig == "all" {
+		rows, err := experiments.RDMAAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: RDMA direct-write delivery vs bounce buffers vs the drain protocol (A18), one-sided ring, 3 ranks")
+		fmt.Print(experiments.FormatRDMA(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

@@ -158,6 +158,12 @@ type Config struct {
 	// CommitTimeout aborts a two-phase round whose acks straggle past
 	// this guard (0 disables; only meaningful with TwoPhaseCommit).
 	CommitTimeout des.Time
+	// RDMA, when non-nil, runs the team over an OS-bypass interconnect
+	// (mpi.Direct with registered memory regions): one-sided NIC writes
+	// land without raising tracker faults. Mode selects naive
+	// checkpointing (measure the silent under-count) or the drain
+	// protocol (close it). See RDMAOptions.
+	RDMA *RDMAOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +202,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatPeriod > 0 && c.HeartbeatTimeout == 0 {
 		c.HeartbeatTimeout = 4 * c.HeartbeatPeriod
+	}
+	if c.RDMA != nil {
+		opts := c.RDMA.withDefaults()
+		c.RDMA = &opts
 	}
 	return c
 }
@@ -297,6 +307,30 @@ type Report struct {
 	// excluded) — the bit-identity witness the replay validator
 	// compares against a failure-free run.
 	SpaceDigests []uint64
+	// DrainRounds counts executions of the checkpoint-time RDMA drain
+	// protocol; DrainPhaseTime breaks their cumulative cost down per
+	// phase (indexed by mpi.DrainPhase); DrainTimeouts counts ranks the
+	// DrainInFlight deadline stranded into bounce-buffer degradation.
+	DrainRounds    int
+	DrainPhaseTime [mpi.NumDrainPhases]des.Time
+	DrainTimeouts  int
+	// RegistrationTime is the cumulative team-startup NIC memory-
+	// registration cost (initial and after every respawn).
+	RegistrationTime des.Time
+	// DirectBypassBytes counts NIC bytes that landed via DMA without
+	// tracker faults, summed over every team incarnation;
+	// SilentDirtyBytes is the portion that hit protected pages — the
+	// ground-truth IWS under-count. Under the drain protocol the silent
+	// set is reconciled before every line; under naive Direct it is the
+	// corruption the restore path inherits.
+	DirectBypassBytes uint64
+	SilentDirtyBytes  uint64
+	// CheckpointSilentBytes sums the per-checkpoint corruption risk
+	// (ckpt.Result.SilentDirtyBytes) over every line the run cut — the
+	// under-count actually baked into the stored chain. The drain
+	// protocol reconciles the silent set before every line, holding
+	// this at zero; naive Direct does not.
+	CheckpointSilentBytes uint64
 }
 
 // MeanDetectionLatency averages the measured detection latencies
@@ -330,6 +364,9 @@ type team struct {
 	cps   []*ckpt.Checkpointer
 	co    *ckpt.Coordinator
 	det   *cluster.Detector // nil unless HeartbeatPeriod > 0 and Ranks > 1
+
+	regCost   des.Time // NIC registration latency paid before iterating
+	harvested bool     // RDMA counters already folded into the report
 }
 
 // Supervisor drives a run to completion through failures.
@@ -350,11 +387,11 @@ type Supervisor struct {
 	// Failure/recovery state machine. Failures are re-armed from the
 	// failure instant, so a second failure can land while detection or
 	// recovery of the first is still in progress (nested failures).
-	detecting       bool       // a heartbeat detection round is running
+	detecting       bool      // a heartbeat detection round is running
 	pendingRecovery des.Event // the in-flight respawn, cancellable
-	pendingFailIter int        // iteration count at the failure being recovered
-	pendingDegraded bool       // the in-flight recovery fell short of the claimed line
-	unrecovered     int        // failures absorbed since the last completed recovery
+	pendingFailIter int       // iteration count at the failure being recovered
+	pendingDegraded bool      // the in-flight recovery fell short of the claimed line
+	unrecovered     int       // failures absorbed since the last completed recovery
 }
 
 // Run executes the configured computation under supervision and returns
@@ -419,9 +456,20 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 			spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: 4096})
 		}
 	}
-	world, err := mpi.NewWorld(s.eng, mpi.QsNet(), mpi.Bounce, spaces)
+	mode := mpi.Bounce
+	if cfg.RDMA != nil {
+		mode = mpi.Direct
+	}
+	world, err := mpi.NewWorld(s.eng, mpi.QsNet(), mode, spaces)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.RDMA != nil {
+		// Before the workload maps its arenas: the bounce fallback arenas
+		// must exist before checkpointer exclusion below.
+		if err := world.EnableRDMA(cfg.RDMA.NIC); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.NetFaults != nil {
 		if err := world.SetFaults(*cfg.NetFaults); err != nil {
@@ -438,6 +486,10 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 		return nil, err
 	}
 	t := &team{world: world, d: d}
+	if cfg.RDMA != nil {
+		// The workload's arenas exist now; pin them with the NIC.
+		registerRDMA(t)
+	}
 	for i := 0; i < cfg.Ranks; i++ {
 		c, err := ckpt.NewCheckpointer(s.eng, spaces[i], ckpt.Options{
 			Rank:     i,
@@ -470,44 +522,71 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 	return t, nil
 }
 
-// startTeam begins (or resumes) iterating the current team.
+// startTeam begins (or resumes) iterating the current team. A
+// registered-memory team first pays its NIC registration latency.
 func (s *Supervisor) startTeam() {
 	t := s.cur
-	t.d.Run(s.cfg.Iterations, func(iter int, next func()) {
-		if iter%s.cfg.CkptEvery != 0 && iter != s.cfg.Iterations {
-			next()
-			return
-		}
-		// Quiescent point: coordinated checkpoint, then pause for the
-		// stop-and-copy commit before resuming.
-		if s.cfg.TwoPhaseCommit {
-			s.beginTwoPhase(t, iter, next)
-			return
-		}
-		g, err := t.co.GlobalCheckpoint()
-		if err != nil {
-			// The storage tier refused the line. The computation is
-			// unharmed — realign the checkpointers (ranks that
-			// persisted before the error are ahead of ranks after it,
-			// and consumed dirty sets force a full re-base) and keep
-			// iterating without this line. The cost shows up as extra
-			// rollback distance if a failure lands before the next
-			// line commits.
-			s.report.CheckpointFailures++
-			s.nextSeq = t.co.Resync()
-			next()
-			return
-		}
-		s.nextSeq = g.PerRank[0].Seq + 1
-		s.lastLineIter = iter
-		s.lineIter[g.PerRank[0].Seq] = iter
-		s.report.CommittedLines++
-		s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
-		s.report.CommitTime += g.MaxDuration
-		s.eng.After(g.MaxDuration, next)
-	}, func() {
-		s.finish(t)
-	})
+	run := func() {
+		t.d.Run(s.cfg.Iterations, func(iter int, next func()) {
+			if iter%s.cfg.CkptEvery != 0 && iter != s.cfg.Iterations {
+				next()
+				return
+			}
+			// Quiescent point: coordinated checkpoint, then pause for the
+			// stop-and-copy commit before resuming. A drain-mode RDMA team
+			// wraps the commit in the drain/re-register protocol.
+			if s.cfg.RDMA != nil && s.cfg.RDMA.Mode == RDMADrain {
+				s.drainCheckpoint(t, iter, next)
+				return
+			}
+			s.commitLine(t, iter, next)
+		}, func() {
+			s.finish(t)
+		})
+	}
+	if t.regCost > 0 {
+		s.report.RegistrationTime += t.regCost
+		s.eng.After(t.regCost, func() {
+			if s.cur != t || s.detecting {
+				return
+			}
+			run()
+		})
+		return
+	}
+	run()
+}
+
+// commitLine cuts one coordinated checkpoint line for team t at
+// iteration iter and calls cont when the stop-and-copy pause resolves.
+// A refused line leaves the computation unharmed: cont still runs, the
+// run just carries on without that line.
+func (s *Supervisor) commitLine(t *team, iter int, cont func()) {
+	if s.cfg.TwoPhaseCommit {
+		s.beginTwoPhase(t, iter, cont)
+		return
+	}
+	g, err := t.co.GlobalCheckpoint()
+	if err != nil {
+		// The storage tier refused the line. The computation is
+		// unharmed — realign the checkpointers (ranks that
+		// persisted before the error are ahead of ranks after it,
+		// and consumed dirty sets force a full re-base) and keep
+		// iterating without this line. The cost shows up as extra
+		// rollback distance if a failure lands before the next
+		// line commits.
+		s.report.CheckpointFailures++
+		s.nextSeq = t.co.Resync()
+		cont()
+		return
+	}
+	s.nextSeq = g.PerRank[0].Seq + 1
+	s.lastLineIter = iter
+	s.lineIter[g.PerRank[0].Seq] = iter
+	s.report.CommittedLines++
+	s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
+	s.report.CommitTime += g.MaxDuration
+	s.eng.After(g.MaxDuration, cont)
 }
 
 // beginTwoPhase runs one prepare/commit checkpoint round for the current
@@ -562,6 +641,7 @@ func (s *Supervisor) beginTwoPhase(t *team, iter int, next func()) {
 
 // finish completes the run: gather the verification checksum.
 func (s *Supervisor) finish(t *team) {
+	s.harvestRDMA(t)
 	if t.det != nil {
 		t.det.Stop()
 		s.report.FalseSuspicions += t.det.FalseSuspicions()
@@ -663,6 +743,7 @@ func (s *Supervisor) onFailure() {
 	t.co.AbortPending(fmt.Errorf("rank failure at %v", s.eng.Now()))
 	// The computation is gone either way: the dead rank's halo partners
 	// stall within an iteration, and the stall propagates.
+	s.harvestRDMA(t)
 	t.d.Stop()
 	for _, c := range t.cps {
 		c.Stop()

@@ -1,0 +1,272 @@
+// RDMA direct-write checkpointing: registered memory regions, the silent
+// IWS under-count they cause, and the crash-safe checkpoint-time drain
+// protocol that closes it.
+//
+// The paper's §4.2 observation is that an OS-bypass NIC writing into
+// application memory defeats mprotect-based write tracking: DMA stores
+// raise no faults, so the incremental working set silently under-counts
+// and incremental checkpoints omit NIC-written pages. The supervisor can
+// run its world in that regime (RDMAOptions.Mode = RDMANaive) and
+// *measure* the resulting corruption risk, or run the drain protocol
+// (RDMADrain, the default): at every checkpoint boundary a six-phase
+// state machine quiesces traffic, drains in-flight one-sided writes,
+// deregisters the NIC regions — replaying every suppressed write fault
+// so the tracker sees the true dirty set — cuts the line, re-registers,
+// and reconnects. A rank whose in-flight traffic refuses to drain within
+// the timeout is degraded to bounce-buffer delivery instead of
+// checkpointing a torn region.
+package autonomic
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/kernels"
+	"repro/internal/mpi"
+)
+
+// RDMAMode selects how the supervisor checkpoints a registered-memory
+// world.
+type RDMAMode uint8
+
+const (
+	// RDMADrain (the default) runs the drain/re-register protocol at
+	// every checkpoint boundary, so incremental lines capture the true
+	// dirty set.
+	RDMADrain RDMAMode = iota
+	// RDMANaive checkpoints without draining: DMA-written pages stay
+	// silent and incremental lines under-count — the failure mode the
+	// report's SilentDirtyBytes quantifies and restores corrupt.
+	RDMANaive
+)
+
+// String names the mode.
+func (m RDMAMode) String() string {
+	switch m {
+	case RDMADrain:
+		return "drain"
+	case RDMANaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("autonomic.RDMAMode(%d)", m)
+	}
+}
+
+// RDMAOptions puts the supervised world in Direct (OS-bypass) delivery
+// mode with registered memory regions.
+type RDMAOptions struct {
+	// Mode picks naive Direct checkpointing or the drain protocol.
+	Mode RDMAMode
+	// DrainTimeout bounds the DrainInFlight phase; ranks still awaiting
+	// traffic when it expires are degraded to bounce-buffer delivery
+	// (0 → 10ms).
+	DrainTimeout des.Time
+	// NIC parameterises registration, quiesce, poll and reconnect costs
+	// (zero fields take mpi defaults).
+	NIC mpi.RDMAConfig
+}
+
+func (o RDMAOptions) withDefaults() RDMAOptions {
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * des.Millisecond
+	}
+	return o
+}
+
+// PutFactory supervises the one-sided-Put ring (kernels.DistPut): the
+// workload whose windows are only ever NIC-written, making the silent
+// under-count fatal to naive Direct restores.
+type PutFactory struct {
+	// Pages is the per-buffer page count (0 → 1).
+	Pages int
+	// PutEvery injects the ring's one-sided writes every N iterations
+	// (0 → 1).
+	PutEvery int
+	// Seed parameterises the initial windows.
+	Seed float64
+	// ComputeTime is the virtual cost of one sweep (0 → 100ms).
+	ComputeTime des.Time
+}
+
+func (f PutFactory) withDefaults() PutFactory {
+	if f.Pages == 0 {
+		f.Pages = 1
+	}
+	if f.PutEvery == 0 {
+		f.PutEvery = 1
+	}
+	if f.ComputeTime == 0 {
+		f.ComputeTime = 100 * des.Millisecond
+	}
+	return f
+}
+
+// New implements Factory.
+func (f PutFactory) New(eng *des.Engine, world *mpi.World) (Computation, error) {
+	f = f.withDefaults()
+	return kernels.NewDistPut(eng, world, f.Pages, f.PutEvery, f.Seed, f.ComputeTime)
+}
+
+// Attach implements Factory.
+func (f PutFactory) Attach(eng *des.Engine, world *mpi.World, iter int) (Computation, error) {
+	f = f.withDefaults()
+	return kernels.AttachDistPut(eng, world, f.Pages, f.PutEvery, f.Seed, f.ComputeTime, iter)
+}
+
+// registerRDMA pins every rank's checkpointable regions with the NIC on
+// a freshly built (or respawned) team and records the registration
+// latency the team must pay before it starts iterating. Ranks register
+// in parallel; the team waits for the slowest.
+func registerRDMA(t *team) {
+	var maxPages uint64
+	for i := 0; i < t.world.Size(); i++ {
+		_, pages := t.world.Rank(i).RegisterAllData()
+		if pages > maxPages {
+			maxPages = pages
+		}
+	}
+	t.regCost = t.world.RegisterCost(maxPages)
+}
+
+// harvestRDMA folds a dying (or finishing) team's NIC counters into the
+// report. Idempotent per team: a nested failure must not double-count.
+func (s *Supervisor) harvestRDMA(t *team) {
+	if s.cfg.RDMA == nil || t == nil || t.harvested {
+		return
+	}
+	t.harvested = true
+	for i := 0; i < t.world.Size(); i++ {
+		st := t.world.Rank(i).Stats()
+		s.report.DirectBypassBytes += st.DirectBypassBytes
+		s.report.SilentDirtyBytes += st.SilentDirtyBytes
+	}
+	for _, c := range t.cps {
+		s.report.CheckpointSilentBytes += c.Stats().SilentDirtyBytes
+	}
+}
+
+// drainCheckpoint runs the checkpoint-time drain protocol for team t at
+// iteration iter, then resumes the computation via next. The six phases
+// run strictly in order on the des clock, each accounted separately:
+//
+//	Quiesce → DrainInFlight → Deregister → Checkpoint → Reregister → Reconnect
+//
+// Every phase entry is a chaos hook (crash-during-drain) and every
+// continuation is guarded, so a node crash mid-protocol abandons the
+// machine cleanly and the recovery path owns the future. A DrainInFlight
+// timeout degrades the stranded ranks to bounce-buffer delivery — the
+// checkpoint proceeds over a consistent (reconciled) image rather than
+// a torn region.
+func (s *Supervisor) drainCheckpoint(t *team, iter int, next func()) {
+	nic := t.world.RDMAConfig()
+	opts := s.cfg.RDMA
+	s.report.DrainRounds++
+	phaseStart := s.eng.Now()
+	account := func(p mpi.DrainPhase) {
+		now := s.eng.Now()
+		s.report.DrainPhaseTime[p] += now - phaseStart
+		phaseStart = now
+	}
+	alive := func() bool {
+		return s.cur == t && !s.detecting && !s.report.Completed && s.failed == nil
+	}
+	// enter fires the chaos plan's crash-during-drain faults: entering a
+	// targeted phase kills a node on the spot, the adversarial instant
+	// for this protocol.
+	enter := func(p mpi.DrainPhase) bool {
+		if s.cfg.Chaos != nil && s.cfg.Chaos.DrainCrashHit(p, s.eng.Now()) {
+			s.onFailure()
+			return false
+		}
+		return true
+	}
+
+	if !enter(mpi.PhaseQuiesce) {
+		return
+	}
+	s.eng.After(nic.QuiesceDelay, func() {
+		if !alive() {
+			return
+		}
+		account(mpi.PhaseQuiesce)
+		if !enter(mpi.PhaseDrainInFlight) {
+			return
+		}
+		t.world.AwaitDrain(opts.DrainTimeout, func(stranded []int) {
+			if !alive() {
+				return
+			}
+			for _, i := range stranded {
+				t.world.Rank(i).DegradeToBounce()
+				s.report.DrainTimeouts++
+			}
+			account(mpi.PhaseDrainInFlight)
+			if !enter(mpi.PhaseDeregister) {
+				return
+			}
+			// Deregistration replays every suppressed write fault, so the
+			// checkpointers' dirty sets are ground truth before the line
+			// is cut. Ranks deregister in parallel; wait for the slowest.
+			var maxPages uint64
+			for i := 0; i < t.world.Size(); i++ {
+				pages, _ := t.world.Rank(i).DeregisterAll()
+				if pages > maxPages {
+					maxPages = pages
+				}
+			}
+			s.eng.After(t.world.RegisterCost(maxPages), func() {
+				if !alive() {
+					return
+				}
+				account(mpi.PhaseDeregister)
+				if !enter(mpi.PhaseCheckpoint) {
+					return
+				}
+				s.commitLine(t, iter, func() {
+					if !alive() {
+						return
+					}
+					account(mpi.PhaseCheckpoint)
+					if !enter(mpi.PhaseReregister) {
+						return
+					}
+					// Degraded ranks stay on the bounce path: their NIC
+					// never re-pins, so no new silent writes can land.
+					var rePages uint64
+					registered := false
+					for i := 0; i < t.world.Size(); i++ {
+						r := t.world.Rank(i)
+						if r.Degraded() {
+							continue
+						}
+						_, pages := r.RegisterAllData()
+						registered = true
+						if pages > rePages {
+							rePages = pages
+						}
+					}
+					reCost := des.Time(0)
+					if registered {
+						reCost = t.world.RegisterCost(rePages)
+					}
+					s.eng.After(reCost, func() {
+						if !alive() {
+							return
+						}
+						account(mpi.PhaseReregister)
+						if !enter(mpi.PhaseReconnect) {
+							return
+						}
+						s.eng.After(nic.ReconnectLatency, func() {
+							if !alive() {
+								return
+							}
+							account(mpi.PhaseReconnect)
+							next()
+						})
+					})
+				})
+			})
+		})
+	})
+}

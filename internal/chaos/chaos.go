@@ -7,8 +7,9 @@
 // browning out" cannot be expressed, let alone reproduced. This package
 // turns adversarial failure timing into data: a declarative Schedule
 // lists fault specs (node crashes, crashes aimed inside two-phase commit
-// windows, network partitions and brownouts, storage outages and
-// brownouts, silent bit-flips of stored checkpoint payloads), each with
+// windows, crashes at RDMA drain-protocol phase entries, network
+// partitions and brownouts, storage outages and brownouts, silent
+// bit-flips of stored checkpoint payloads), each with
 // a virtual-time window, an optional correlation group, and seeded
 // jitter. Compile resolves the schedule against one seed into a Plan of
 // concrete virtual-time events, and a Driver binds the plan to a
@@ -32,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/mpi"
 )
 
 // Kind enumerates the fault classes a Spec can inject.
@@ -61,6 +63,12 @@ const (
 	// payload at a seeded instant inside the window — at-rest corruption
 	// below any integrity envelope, detectable only on read-back.
 	BitFlip
+	// DrainCrash kills a node the moment the RDMA checkpoint-drain
+	// protocol enters a named phase (quiesce, drain, deregister,
+	// checkpoint, reregister, reconnect) inside the spec's window. Each
+	// Count consumes one drain round — the adversarial instants for the
+	// drain/re-register state machine.
+	DrainCrash
 )
 
 // String names the kind the way the schedule language spells it.
@@ -80,6 +88,8 @@ func (k Kind) String() string {
 		return "storage-brownout"
 	case BitFlip:
 		return "bitflip"
+	case DrainCrash:
+		return "crash-during-drain"
 	default:
 		return fmt.Sprintf("chaos.Kind(%d)", k)
 	}
@@ -117,6 +127,9 @@ type Spec struct {
 	// Rate is StorageBrownout's per-operation drop probability
 	// (default 0.5).
 	Rate float64
+	// Phase is the drain-protocol phase token a DrainCrash targets
+	// (one of mpi's drain phase names, e.g. "deregister").
+	Phase string
 }
 
 // Schedule is a declarative list of fault specs — the unit that parses,
@@ -134,7 +147,7 @@ func (s *Schedule) Validate() error {
 	for i, sp := range s.Specs {
 		prefix := fmt.Sprintf("chaos: spec %d (%s)", i, sp.Kind)
 		switch {
-		case sp.Kind > BitFlip:
+		case sp.Kind > DrainCrash:
 			return fmt.Errorf("chaos: spec %d: unknown kind %d", i, sp.Kind)
 		case sp.From < 0 || sp.To < sp.From:
 			return fmt.Errorf("%s: window [%v, %v] is not ordered and non-negative", prefix, sp.From, sp.To)
@@ -156,6 +169,10 @@ func (s *Schedule) Validate() error {
 			if sp.To == sp.From {
 				return fmt.Errorf("%s: window kinds need a non-empty window", prefix)
 			}
+		case DrainCrash:
+			if _, err := mpi.ParseDrainPhase(sp.Phase); err != nil {
+				return fmt.Errorf("%s: %w", prefix, err)
+			}
 		}
 	}
 	return nil
@@ -168,4 +185,3 @@ const maxEventsPerSpec = 1024
 // maxSlowFactor bounds Brownout's transfer-time multiplier: a slowdown
 // beyond this effectively freezes the simulation's traffic.
 const maxSlowFactor = 1024
-

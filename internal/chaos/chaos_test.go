@@ -29,9 +29,10 @@ brownout at 6s..9s drop 0.3 slow 2.5
 storage-outage at 7s..8s
 storage-brownout at 2s..10s rate 0.5
 bitflip at 1200ms..5s count 4
+crash-during-drain at 1s..20s phase deregister count 2
 `)
-	if len(s.Specs) != 7 {
-		t.Fatalf("parsed %d specs, want 7", len(s.Specs))
+	if len(s.Specs) != 8 {
+		t.Fatalf("parsed %d specs, want 8", len(s.Specs))
 	}
 	sp := s.Specs[0]
 	if sp.Kind != Crash || sp.From != 2*des.Second || sp.To != 8*des.Second ||
@@ -43,6 +44,9 @@ bitflip at 1200ms..5s count 4
 	}
 	if s.Specs[5].Rate != 0.5 {
 		t.Fatalf("storage-brownout spec = %+v", s.Specs[5])
+	}
+	if s.Specs[7].Kind != DrainCrash || s.Specs[7].Phase != "deregister" || s.Specs[7].Count != 2 {
+		t.Fatalf("crash-during-drain spec = %+v", s.Specs[7])
 	}
 }
 
@@ -66,6 +70,8 @@ func TestParseScheduleRejects(t *testing.T) {
 		"huge slow":        "brownout at 1s..2s slow 1e9",
 		"empty window":     "partition at 2s..2s",
 		"garbage duration": "crash at eleventy..2s",
+		"drain no phase":   "crash-during-drain at 1s..2s",
+		"drain bad phase":  "crash-during-drain at 1s..2s phase warp",
 	} {
 		if _, err := ParseSchedule(text); err == nil {
 			t.Errorf("%s: %q accepted", name, text)
@@ -154,7 +160,8 @@ func TestPlanHorizonAndEvents(t *testing.T) {
 func TestValidateRejectsHostileSpecs(t *testing.T) {
 	nan := func() float64 { var z float64; return z / z }() // NaN without math import
 	for name, sp := range map[string]Spec{
-		"unknown kind": {Kind: BitFlip + 1, To: des.Second},
+		"unknown kind": {Kind: DrainCrash + 1, To: des.Second},
+		"drain phase":  {Kind: DrainCrash, To: des.Second, Phase: "warp"},
 		"neg window":   {Kind: Crash, From: -1},
 		"nan drop":     {Kind: Partition, To: des.Second, Drop: nan},
 		"nan rate":     {Kind: StorageBrownout, To: des.Second, Rate: nan},
@@ -297,6 +304,38 @@ func TestCommitCrashDelayConsumesWindows(t *testing.T) {
 	}
 }
 
+// A drain-crash window fires once per planned round, only for its own
+// phase, only inside its window.
+func TestDrainCrashHitConsumesWindows(t *testing.T) {
+	s := mustParse(t, "crash-during-drain at 1s..10s phase deregister count 2")
+	p, err := s.Compile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DrainCrashes) != 2 || p.DrainCrashes[0].Phase != mpi.PhaseDeregister {
+		t.Fatalf("plan drain crashes: %+v", p.DrainCrashes)
+	}
+	d := NewDriver(des.NewEngine(), p)
+	if d.DrainCrashHit(mpi.PhaseQuiesce, 2*des.Second) {
+		t.Fatal("wrong phase killed")
+	}
+	if d.DrainCrashHit(mpi.PhaseDeregister, 500*des.Millisecond) {
+		t.Fatal("kill outside the window")
+	}
+	if !d.DrainCrashHit(mpi.PhaseDeregister, 2*des.Second) {
+		t.Fatal("first planned round not killed")
+	}
+	if !d.DrainCrashHit(mpi.PhaseDeregister, 3*des.Second) {
+		t.Fatal("second planned round not killed")
+	}
+	if d.DrainCrashHit(mpi.PhaseDeregister, 4*des.Second) {
+		t.Fatal("third round killed with only two planned")
+	}
+	if d.Stats().DrainCrashes != 2 {
+		t.Fatalf("stats = %+v, want 2 drain crashes", d.Stats())
+	}
+}
+
 // FuzzParseSchedule holds the parser to its contract: malformed
 // schedules error, hostile bytes never panic, and anything that parses
 // also validates and compiles.
@@ -308,6 +347,9 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("crash at 1s..2s drop NaN")
 	f.Add("crash at -1s..2s")
 	f.Add("storage-outage at 9223372036854775807ns..9223372036854775807ns")
+	f.Add("crash-during-drain at 1s..20s phase deregister count 2")
+	f.Add("crash-during-drain at 1s..2s phase warp")
+	f.Add("crash-during-drain at 1s..2s")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseSchedule(text)
 		if err != nil {

@@ -24,6 +24,13 @@ type BrownoutWindow struct {
 	Rate float64
 }
 
+// DrainCrashWindow is a drain-protocol kill: the first time the drain
+// state machine enters Phase inside the window, the node dies.
+type DrainCrashWindow struct {
+	Window
+	Phase mpi.DrainPhase
+}
+
 // Plan is a compiled schedule: every seeded draw resolved against one
 // seed, leaving only concrete virtual-time events and windows. Plans are
 // immutable once compiled; a Driver consumes one.
@@ -46,6 +53,9 @@ type Plan struct {
 	Brownouts []BrownoutWindow
 	// BitFlips are at-rest corruption instants, ascending.
 	BitFlips []des.Time
+	// DrainCrashes are windows inside which RDMA drain rounds are killed
+	// at a named phase's entry, one round per entry.
+	DrainCrashes []DrainCrashWindow
 }
 
 // Horizon returns the virtual time after which the plan injects nothing
@@ -75,6 +85,9 @@ func (p *Plan) Horizon() des.Time {
 	for _, w := range p.Brownouts {
 		grow(w.To)
 	}
+	for _, w := range p.DrainCrashes {
+		grow(w.To)
+	}
 	return h
 }
 
@@ -82,7 +95,8 @@ func (p *Plan) Horizon() des.Time {
 // commit kills, bit flips) — windows count once each.
 func (p *Plan) Events() int {
 	return len(p.Crashes) + len(p.CommitCrashes) + len(p.BitFlips) +
-		len(p.NetWindows) + len(p.Outages) + len(p.Brownouts)
+		len(p.NetWindows) + len(p.Outages) + len(p.Brownouts) +
+		len(p.DrainCrashes)
 }
 
 // Compile resolves the schedule's seeded draws into a Plan. The same
@@ -161,6 +175,15 @@ func (s *Schedule) Compile(seed uint64) (*Plan, error) {
 				rate = 0.5
 			}
 			p.Brownouts = append(p.Brownouts, BrownoutWindow{Window: shiftWindow(sp, base(sp)), Rate: rate})
+		case DrainCrash:
+			phase, err := mpi.ParseDrainPhase(sp.Phase)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: compile: %w", err)
+			}
+			w := shiftWindow(sp, base(sp))
+			for i := 0; i < count; i++ {
+				p.DrainCrashes = append(p.DrainCrashes, DrainCrashWindow{Window: w, Phase: phase})
+			}
 		default:
 			return nil, fmt.Errorf("chaos: compile: unknown kind %d", sp.Kind)
 		}

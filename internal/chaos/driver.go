@@ -16,6 +16,8 @@ type Stats struct {
 	Crashes int
 	// CommitCrashes counts two-phase rounds the driver aimed a kill at.
 	CommitCrashes int
+	// DrainCrashes counts drain rounds killed at a phase entry.
+	DrainCrashes int
 	// BitFlips counts stored payloads corrupted; BitFlipMisses counts
 	// flip instants that found nothing to corrupt (empty store or a
 	// store that refused the read-modify-write).
@@ -36,6 +38,7 @@ type Driver struct {
 
 	stats      Stats
 	commitUsed []bool
+	drainUsed  []bool
 	flipTarget storage.Store
 }
 
@@ -50,6 +53,7 @@ func NewDriver(eng *des.Engine, plan *Plan) *Driver {
 		plan:       plan,
 		rng:        rand.New(rand.NewPCG(plan.Seed, 0xD21F)),
 		commitUsed: make([]bool, len(plan.CommitCrashes)),
+		drainUsed:  make([]bool, len(plan.DrainCrashes)),
 	}
 }
 
@@ -97,6 +101,22 @@ func (d *Driver) CommitCrashDelay(now, lastAck des.Time) (des.Time, bool) {
 		return des.Time(d.rng.Float64() * float64(span)), true
 	}
 	return 0, false
+}
+
+// DrainCrashHit asks whether the drain protocol's entry into phase p at
+// virtual time now should kill the node. It consumes at most one planned
+// drain-crash window per call, so a schedule with Count n kills n drain
+// rounds at the same phase.
+func (d *Driver) DrainCrashHit(p mpi.DrainPhase, now des.Time) bool {
+	for i, w := range d.plan.DrainCrashes {
+		if d.drainUsed[i] || w.Phase != p || !w.contains(now) {
+			continue
+		}
+		d.drainUsed[i] = true
+		d.stats.DrainCrashes++
+		return true
+	}
+	return false
 }
 
 // MergeNetFaults folds the plan's partition/brownout windows into an

@@ -19,23 +19,25 @@ import (
 //	storage-outage at 7s..8s
 //	storage-brownout at 2s..10s rate 0.5
 //	bitflip at 1200ms..5s count 4
+//	crash-during-drain at 1s..20s phase deregister
 //
 // Every line is "<kind> at <from>..<to>" followed by optional key/value
 // pairs (jitter <dur>, count <n>, group <name>, drop <p>, slow <x>,
-// rate <p>). Durations use Go syntax ("1.5s", "300ms") and denote
+// rate <p>, phase <name>). Durations use Go syntax ("1.5s", "300ms") and denote
 // virtual time. ParseSchedule returns a typed error naming the offending
 // line for any malformed input; it never panics, however hostile the
 // bytes (FuzzParseSchedule holds it to that).
 
 // kindNames maps the language's kind tokens to Kind values.
 var kindNames = map[string]Kind{
-	"crash":            Crash,
-	"commit-crash":     CommitCrash,
-	"partition":        Partition,
-	"brownout":         Brownout,
-	"storage-outage":   StorageOutage,
-	"storage-brownout": StorageBrownout,
-	"bitflip":          BitFlip,
+	"crash":              Crash,
+	"commit-crash":       CommitCrash,
+	"partition":          Partition,
+	"brownout":           Brownout,
+	"storage-outage":     StorageOutage,
+	"storage-brownout":   StorageBrownout,
+	"bitflip":            BitFlip,
+	"crash-during-drain": DrainCrash,
 }
 
 // ParseSchedule parses the schedule language and validates the result.
@@ -116,6 +118,8 @@ func parseSpec(fields []string) (Spec, error) {
 			if sp.Rate, err = parseProb(val); err != nil {
 				return sp, fmt.Errorf("rate: %w", err)
 			}
+		case "phase":
+			sp.Phase = val
 		default:
 			return sp, fmt.Errorf("%s: unknown option %q", fields[0], key)
 		}

@@ -72,6 +72,14 @@ type Result struct {
 	// ExcludedPages counts dirty pages dropped because their region was
 	// unmapped before the checkpoint (memory exclusion).
 	ExcludedPages uint64
+	// SilentDirtyPages/SilentDirtyBytes report the corruption risk of
+	// this checkpoint: pages a Direct-mode NIC dirtied behind the
+	// write-fault tracker, which an incremental capture therefore
+	// omits. A full checkpoint copies current contents regardless, so
+	// it reports zero and absorbs the silent set. Nonzero values mean
+	// a restore from this segment's chain replays stale data.
+	SilentDirtyPages uint64
+	SilentDirtyBytes uint64
 }
 
 // Stats aggregates a checkpointer's lifetime counters.
@@ -89,6 +97,9 @@ type Stats struct {
 	// PayloadBytes is the page-data volume actually persisted after
 	// zero elision and compression.
 	PayloadBytes uint64
+	// SilentDirtyBytes accumulates Result.SilentDirtyBytes: the total
+	// volume incremental checkpoints silently omitted.
+	SilentDirtyBytes uint64
 }
 
 // Checkpointer takes full and incremental checkpoints of one address
@@ -322,6 +333,7 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 		}
 		seg.Pages = append(seg.Pages, rec)
 	}
+	var silentPages uint64
 	switch kind {
 	case Full:
 		for _, r := range c.space.Regions() {
@@ -331,8 +343,21 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 			for idx := uint64(0); idx < r.Pages(); idx++ {
 				capture(r, idx)
 			}
+			// A full capture copies current contents, DMA'd or not —
+			// the silent set is absorbed into this self-contained base.
+			r.ClearSilent()
 		}
 	case Incremental:
+		// Pages the NIC dirtied without faulting are absent from
+		// c.dirty: this capture omits them, and a restore through it
+		// replays their stale pre-DMA contents. Count them as the
+		// segment's corruption risk.
+		for _, r := range c.space.Regions() {
+			if !r.Kind().Checkpointable() || c.excluded[r] {
+				continue
+			}
+			silentPages += r.SilentPages()
+		}
 		for r, rs := range c.dirty {
 			if r.Dead() {
 				delete(c.dirty, r)
@@ -385,6 +410,9 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 		DedupSkipped:  dedupSkipped,
 		Duration:      c.opts.Sink.WriteTime(durBytes),
 		ExcludedPages: c.excludedAccum,
+
+		SilentDirtyPages: silentPages,
+		SilentDirtyBytes: silentPages * ps,
 	}
 	if c.opts.TrackCow {
 		c.drainUntil = c.eng.Now() + res.Duration
@@ -402,6 +430,7 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 	c.stats.ExcludedPages += res.ExcludedPages
 	c.stats.DedupSkippedPages += dedupSkipped
 	c.stats.PayloadBytes += payload
+	c.stats.SilentDirtyBytes += res.SilentDirtyBytes
 	return res, nil
 }
 

@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+// A DMA write behind the checkpointer's protection must surface as the
+// incremental segment's corruption risk — and a full checkpoint, which
+// copies current contents regardless of dirty sets, must absorb it.
+func TestCheckpointSilentDirtyAccounting(t *testing.T) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+	d := sp.MapData(4 * pageSize)
+	c, err := NewCheckpointer(eng, sp, Options{Store: storage.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if _, err := c.Checkpoint(); err != nil { // seq 0: full base
+		t.Fatal(err)
+	}
+
+	// One CPU write (tracked) and one DMA write (silent).
+	if err := sp.Write(d.Start(), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.WriteDirect(d.Start()+2*pageSize, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != Incremental || res.Pages != 1 {
+		t.Fatalf("incremental captured %d pages (kind %v), want 1: the DMA page must be missed", res.Pages, res.Kind)
+	}
+	if res.SilentDirtyPages != 1 || res.SilentDirtyBytes != pageSize {
+		t.Fatalf("corruption risk = %d pages / %d bytes, want 1/%d", res.SilentDirtyPages, res.SilentDirtyBytes, pageSize)
+	}
+	if c.Stats().SilentDirtyBytes != pageSize {
+		t.Fatalf("Stats.SilentDirtyBytes = %d, want %d", c.Stats().SilentDirtyBytes, pageSize)
+	}
+
+	// Reconcile through replay (the drain protocol's deregister step):
+	// the next incremental captures the page and the risk drops to zero.
+	if pages := sp.ReplaySilent(); pages != 1 {
+		t.Fatalf("ReplaySilent = %d, want 1", pages)
+	}
+	res, err = c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SilentDirtyPages != 0 || res.Pages != 1 {
+		t.Fatalf("post-replay incremental: %d silent / %d pages, want 0/1", res.SilentDirtyPages, res.Pages)
+	}
+}
+
+func TestFullCheckpointAbsorbsSilentPages(t *testing.T) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: pageSize})
+	d := sp.MapData(2 * pageSize)
+	c, err := NewCheckpointer(eng, sp, Options{Store: storage.NewMemStore(), FullEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.WriteDirect(d.Start(), []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Checkpoint() // FullEvery=1: full again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != Full || res.SilentDirtyPages != 0 {
+		t.Fatalf("full checkpoint reported %d silent pages (kind %v), want 0", res.SilentDirtyPages, res.Kind)
+	}
+	if sp.SilentDirtyBytes() != 0 {
+		t.Fatal("full capture did not clear the silent set")
+	}
+}

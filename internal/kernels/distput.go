@@ -1,0 +1,268 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+// DistPut is the workload that makes the §4.2 NIC-vs-mprotect conflict
+// *matter*: a ring of ranks exchanging state through one-sided RDMA
+// writes (mpi.Put). Each rank owns a window W and an accumulator A.
+// Every iteration the CPU folds the window into the accumulator
+// (ordinary tracked writes); every PutEvery-th iteration each rank Puts
+// a function of its accumulator into its right neighbour's window.
+//
+// The window is *only ever written by the NIC*. Under bounce-buffer
+// delivery those writes fault and the tracker sees them; under naive
+// Direct delivery they are silent — every incremental checkpoint omits
+// the window, and a restore replays a stale window that the subsequent
+// sweeps fold into the accumulator, corrupting the answer end to end.
+// (The halo-exchanging kernels are immune by accident: they re-receive
+// halos before every read. One-sided windows have no such re-send.)
+//
+// Timing contract: a put injected at an iteration boundary is read no
+// earlier than the *second* sweep after it (the landing costs one
+// transfer time, the next sweep runs synchronously at the boundary), so
+// the computation is a pure function of the iteration/checkpoint
+// schedule — the property replay-equivalence validation relies on.
+type DistPut struct {
+	world *mpi.World
+	eng   *des.Engine
+
+	pages    int // pages per buffer (window and accumulator alike)
+	putEvery int
+	seed     float64
+	arenas   []*mem.Region
+
+	iter      int
+	stopped   bool
+	computeT  des.Time
+	onIter    func(iter int, done func())
+	doneAll   func()
+	targetIts int
+}
+
+// NewDistPut builds the ring over the given world: per rank one arena of
+// 2*pages pages (window first, accumulator second). putEvery must be
+// >= 1; pages >= 1. The world's address spaces must be backed.
+func NewDistPut(eng *des.Engine, world *mpi.World, pages, putEvery int, seed float64, computeTime des.Time) (*DistPut, error) {
+	d, err := newDistPut(eng, world, pages, putEvery, seed, computeTime)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < world.Size(); i++ {
+		sp := world.Rank(i).Space()
+		arena, err := sp.Mmap(uint64(2*pages) * sp.PageSize())
+		if err != nil {
+			return nil, fmt.Errorf("kernels: put arena for rank %d: %w", i, err)
+		}
+		d.arenas = append(d.arenas, arena)
+		vals := make([]float64, d.vals())
+		for j := range vals {
+			vals[j] = seed + float64(i) + float64(j)*1e-3
+		}
+		if err := d.writeVals(i, d.wAddr(i), vals); err != nil {
+			return nil, err
+		}
+		for j := range vals {
+			vals[j] = 0
+		}
+		if err := d.writeVals(i, d.aAddr(i), vals); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AttachDistPut rebuilds the ring over restored address spaces, resuming
+// at the given completed-iteration count. Arenas are recovered by size
+// (one 2*pages-page Mmap region per rank, distinct from the 1 MB bounce
+// arenas).
+func AttachDistPut(eng *des.Engine, world *mpi.World, pages, putEvery int, seed float64, computeTime des.Time, iter int) (*DistPut, error) {
+	d, err := newDistPut(eng, world, pages, putEvery, seed, computeTime)
+	if err != nil {
+		return nil, err
+	}
+	d.iter = iter
+	for i := 0; i < world.Size(); i++ {
+		sp := world.Rank(i).Space()
+		want := uint64(2*pages) * sp.PageSize()
+		var arena *mem.Region
+		for _, r := range sp.Regions() {
+			if r.Kind() == mem.Mmap && r.Size() == want && r != world.BounceRegion(i) {
+				arena = r
+				break
+			}
+		}
+		if arena == nil {
+			return nil, fmt.Errorf("kernels: rank %d: no %d-byte put arena in restored space", i, want)
+		}
+		d.arenas = append(d.arenas, arena)
+	}
+	return d, nil
+}
+
+func newDistPut(eng *des.Engine, world *mpi.World, pages, putEvery int, seed float64, computeTime des.Time) (*DistPut, error) {
+	if pages < 1 || putEvery < 1 {
+		return nil, fmt.Errorf("kernels: dist put pages %d / putEvery %d", pages, putEvery)
+	}
+	if computeTime <= 0 {
+		return nil, fmt.Errorf("kernels: compute time must be positive")
+	}
+	return &DistPut{
+		world: world, eng: eng, pages: pages, putEvery: putEvery,
+		seed: seed, computeT: computeTime,
+	}, nil
+}
+
+// vals is the float64 count of one buffer.
+func (d *DistPut) vals() int {
+	return d.pages * int(d.world.Rank(0).Space().PageSize()) / 8
+}
+
+// wAddr returns rank i's window base; aAddr its accumulator base.
+func (d *DistPut) wAddr(i int) uint64 { return d.arenas[i].Start() }
+func (d *DistPut) aAddr(i int) uint64 {
+	return d.arenas[i].Start() + uint64(d.pages)*d.world.Rank(i).Space().PageSize()
+}
+
+func (d *DistPut) readVals(i int, addr uint64) ([]float64, error) {
+	n := d.vals()
+	buf := make([]byte, n*8)
+	if err := d.world.Rank(i).Space().Read(addr, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for j := range out {
+		out[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+	}
+	return out, nil
+}
+
+func (d *DistPut) writeVals(i int, addr uint64, vals []float64) error {
+	buf := make([]byte, len(vals)*8)
+	for j, v := range vals {
+		binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
+	}
+	return d.world.Rank(i).Space().Write(addr, buf)
+}
+
+// Iter returns the completed iteration count.
+func (d *DistPut) Iter() int { return d.iter }
+
+// Window returns rank i's current window values (test hook).
+func (d *DistPut) Window(i int) ([]float64, error) { return d.readVals(i, d.wAddr(i)) }
+
+// Stop makes all pending callbacks no-ops (the failure path).
+func (d *DistPut) Stop() { d.stopped = true }
+
+// Run executes iterations until the completed count reaches target, then
+// calls onDone. onIter (optional) runs after every completed iteration
+// with a continuation — the coordinated-checkpoint hook. One-sided puts
+// are injected at the boundary *before* onIter fires, so a checkpoint
+// trigger finds them genuinely in flight: that is the traffic the drain
+// protocol exists to land.
+func (d *DistPut) Run(target int, onIter func(iter int, done func()), onDone func()) {
+	d.targetIts = target
+	d.onIter = onIter
+	d.doneAll = onDone
+	d.iterate()
+}
+
+// iterate performs one sweep (CPU: A += 0.5*W + 1e-3) across all ranks,
+// charges the compute time, injects the boundary's puts, and hands
+// control to the iteration hook.
+func (d *DistPut) iterate() {
+	if d.stopped {
+		return
+	}
+	if d.iter >= d.targetIts {
+		if d.doneAll != nil {
+			d.doneAll()
+		}
+		return
+	}
+	for i := 0; i < d.world.Size(); i++ {
+		if err := d.sweep(i); err != nil {
+			panic(fmt.Sprintf("kernels: put sweep: %v", err))
+		}
+	}
+	d.eng.After(d.computeT, func() {
+		if d.stopped {
+			return
+		}
+		d.iter++
+		if d.world.Size() > 1 && d.iter%d.putEvery == 0 {
+			n := d.world.Size()
+			for i := 0; i < n; i++ {
+				payload, err := d.putPayload(i)
+				if err != nil {
+					panic(fmt.Sprintf("kernels: put payload: %v", err))
+				}
+				dst := (i + 1) % n
+				d.world.Rank(i).Put(dst, d.wAddr(dst), payload, nil)
+			}
+		}
+		next := func() {
+			if !d.stopped {
+				d.iterate()
+			}
+		}
+		if d.onIter != nil {
+			d.onIter(d.iter, next)
+			return
+		}
+		next()
+	})
+}
+
+// sweep folds rank i's window into its accumulator with ordinary
+// (tracked) CPU writes.
+func (d *DistPut) sweep(i int) error {
+	w, err := d.readVals(i, d.wAddr(i))
+	if err != nil {
+		return err
+	}
+	a, err := d.readVals(i, d.aAddr(i))
+	if err != nil {
+		return err
+	}
+	for j := range a {
+		a[j] += 0.5*w[j] + 1e-3
+	}
+	return d.writeVals(i, d.aAddr(i), a)
+}
+
+// putPayload derives the bytes rank i sends into its neighbour's window:
+// a pure function of the accumulator, so the whole computation is
+// state-determined and replays bit-exactly from any consistent line.
+func (d *DistPut) putPayload(i int) ([]byte, error) {
+	a, err := d.readVals(i, d.aAddr(i))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(a)*8)
+	for j, v := range a {
+		binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(0.5*v+1))
+	}
+	return buf, nil
+}
+
+// Gather returns the concatenated accumulators of all ranks — the
+// verification solution.
+func (d *DistPut) Gather() ([]float64, error) {
+	var out []float64
+	for i := 0; i < d.world.Size(); i++ {
+		a, err := d.readVals(i, d.aAddr(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a...)
+	}
+	return out, nil
+}

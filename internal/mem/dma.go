@@ -1,0 +1,147 @@
+package mem
+
+// DMA write path: a NIC depositing a message directly into user memory
+// (RDMA / programmed-I/O direct mode) bypasses the MMU's write
+// protection entirely — no fault is raised, the tracker never sees the
+// page, and an incremental checkpoint taken afterwards silently omits
+// it (the paper's §4.2 NIC-vs-mprotect conflict). WriteDirect and
+// WriteRangeDirect model exactly that: they store contents like
+// Write/WriteRange but never deliver faults; instead every protected
+// page they land on is marked in the region's silent-dirty bitmap, so
+// the under-count is measurable (SilentDirtyBytes) and reconcilable
+// (ReplaySilent, the deregistration step of a drain protocol).
+
+import "math/bits"
+
+// WriteDirect stores data at addr with DMA semantics: protected pages
+// do not fault — the bytes land anyway and the pages are marked
+// silent-dirty. It returns the number of bytes that landed on pages
+// that were protected at write time, i.e. the bytes the write-fault
+// tracker did not observe.
+func (s *AddressSpace) WriteDirect(addr uint64, data []byte) (silentBytes uint64, err error) {
+	n := uint64(len(data))
+	if n == 0 {
+		return 0, nil
+	}
+	r, err := s.checkRange(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	ps := s.cfg.PageSize
+	for off := uint64(0); off < n; {
+		pageEnd := (addr + off + ps) &^ (ps - 1)
+		chunk := min(n-off, pageEnd-(addr+off))
+		if r.Protected(addr + off) {
+			r.markSilent(r.PageIndex(addr + off))
+			silentBytes += chunk
+		}
+		off += chunk
+	}
+	if !s.cfg.Phantom {
+		r.copyIn(addr, data)
+	}
+	s.writeBytes += n
+	return silentBytes, nil
+}
+
+// WriteRangeDirect is WriteRange with DMA semantics: the whole byte
+// range [addr, addr+n) is written without raising a single fault, and
+// every protected page it touches becomes silent-dirty. In backed mode
+// the range is filled with the same rolling per-call byte value as
+// WriteRange so contents remain deterministic. It returns the number
+// of bytes that landed on protected (now silent) pages.
+func (s *AddressSpace) WriteRangeDirect(addr, n uint64) (silentBytes uint64, err error) {
+	if n == 0 {
+		return 0, nil
+	}
+	r, err := s.checkRange(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	ps := s.cfg.PageSize
+	first := r.PageIndex(addr)
+	last := r.PageIndex(addr + n - 1)
+	for idx := first; idx <= last; idx++ {
+		if r.wp[idx/64]>>(idx%64)&1 == 0 {
+			continue
+		}
+		r.markSilent(idx)
+		pa := r.PageAddr(idx)
+		lo := max(pa, addr)
+		hi := min(pa+ps, addr+n)
+		silentBytes += hi - lo
+	}
+	if !s.cfg.Phantom {
+		s.writeSeq++
+		v := s.writeSeq
+		idx := first
+		po := addr & (ps - 1)
+		for rem := n; rem > 0; {
+			chunk := ps - po
+			if chunk > rem {
+				chunk = rem
+			}
+			pd := r.data[idx]
+			if pd == nil {
+				pd = make([]byte, ps)
+				r.data[idx] = pd
+			}
+			fill := pd[po : po+chunk]
+			for i := range fill {
+				fill[i] = v
+			}
+			rem -= chunk
+			idx++
+			po = 0
+		}
+	}
+	s.writeBytes += n
+	return silentBytes, nil
+}
+
+// SilentDirtyBytes returns the total bytes of silently dirty pages
+// across all live regions: pages whose contents were changed by DMA
+// writes while write-protected, which an incremental checkpoint based
+// on fault tracking alone would omit. This is the ground-truth
+// under-count of the incremental write set.
+func (s *AddressSpace) SilentDirtyBytes() uint64 {
+	var pages uint64
+	for _, r := range s.regions {
+		pages += r.SilentPages()
+	}
+	return pages * s.cfg.PageSize
+}
+
+// ReplaySilent reconciles every silent-dirty page by delivering the
+// write fault the DMA engine suppressed: the installed fault-handler
+// chain (tracker, checkpointer) observes each page exactly as if the
+// CPU had written it, so the pages re-enter the incremental write set
+// before the next checkpoint. This is the deregistration step of an
+// RDMA drain protocol — once the NIC's mappings are torn down, the
+// pages it wrote are handed back to the MMU-based tracker. Returns the
+// number of pages replayed.
+func (s *AddressSpace) ReplaySilent() uint64 {
+	var pages uint64
+	for _, r := range s.regions {
+		if r.silent == nil {
+			continue
+		}
+		for w := range r.silent {
+			for word := r.silent[w]; word != 0; {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << b
+				idx := uint64(w)*64 + uint64(b)
+				pa := r.PageAddr(idx)
+				// fault() clears the silent bit and delivers the
+				// handler chain. A handler normally unprotects the
+				// page; if none is installed the write is recorded
+				// directly so the page is never checkpointed torn.
+				if err := s.fault(r, pa); err != nil {
+					r.SetProtected(pa, false)
+				}
+				pages++
+			}
+		}
+	}
+	return pages
+}

@@ -131,9 +131,16 @@ type Region struct {
 
 	space *AddressSpace
 	wp    []uint64 // write-protect bitmap, one bit per page
-	data  [][]byte // per-page contents; nil slices until first backed write
-	dead  bool
-	seq   uint64 // creation sequence, distinguishes remaps at the same address
+	// silent marks pages a DMA write (WriteDirect) landed on while they
+	// were write-protected: modified memory no fault handler ever saw —
+	// the NIC-vs-mprotect conflict of §4.2 made observable. Allocated
+	// lazily on the first silent write; a bit clears when a CPU fault is
+	// finally delivered for the page (the tracker sees it after all) or
+	// when the page is explicitly reconciled (ReplaySilent).
+	silent []uint64
+	data   [][]byte // per-page contents; nil slices until first backed write
+	dead   bool
+	seq    uint64 // creation sequence, distinguishes remaps at the same address
 }
 
 // Start returns the base address of the region.
@@ -240,6 +247,57 @@ func (r *Region) ProtectedPages() uint64 {
 		n += uint64(bits.OnesCount64(w))
 	}
 	return n
+}
+
+// markSilent records that a DMA write landed on protected page idx and
+// reports whether the bit was newly set.
+func (r *Region) markSilent(idx uint64) bool {
+	if r.silent == nil {
+		r.silent = make([]uint64, len(r.wp))
+	}
+	w, b := idx/64, uint64(1)<<(idx%64)
+	if r.silent[w]&b != 0 {
+		return false
+	}
+	r.silent[w] |= b
+	return true
+}
+
+// clearSilent drops the silent mark on page idx, if any.
+func (r *Region) clearSilent(idx uint64) {
+	if r.silent != nil {
+		r.silent[idx/64] &^= 1 << (idx % 64)
+	}
+}
+
+// SilentDirty reports whether the page holding addr was modified by a
+// DMA write without a fault ever being delivered for it.
+func (r *Region) SilentDirty(addr uint64) bool {
+	if r.silent == nil {
+		return false
+	}
+	idx := r.PageIndex(addr)
+	return r.silent[idx/64]&(1<<(idx%64)) != 0
+}
+
+// SilentPages returns the number of silently dirty pages — pages whose
+// contents changed underneath the protection machinery and are therefore
+// missing from any fault-derived dirty set.
+func (r *Region) SilentPages() uint64 {
+	var n uint64
+	for _, w := range r.silent {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// ClearSilent forgets all silent-dirty marks. A full checkpoint calls
+// this: it captures current page contents regardless of dirty sets, so
+// the DMA'd data is in the chain after all.
+func (r *Region) ClearSilent() {
+	for i := range r.silent {
+		r.silent[i] = 0
+	}
 }
 
 // PeekPage returns the contents of the page at the given index without
@@ -460,6 +518,9 @@ func (s *AddressSpace) Sbrk(delta int64) (uint64, error) {
 		for uint64(len(r.wp)) < wpLen {
 			r.wp = append(r.wp, 0)
 		}
+		for r.silent != nil && uint64(len(r.silent)) < wpLen {
+			r.silent = append(r.silent, 0)
+		}
 		if !s.cfg.Phantom {
 			r.data = append(r.data, make([][]byte, newPages-oldPages)...)
 		}
@@ -474,6 +535,12 @@ func (s *AddressSpace) Sbrk(delta int64) (uint64, error) {
 	newPages := r.Pages()
 	r.wp = r.wp[:(newPages+63)/64]
 	r.trimBitmap()
+	if r.silent != nil {
+		r.silent = r.silent[:len(r.wp)]
+		if rem := newPages % 64; rem != 0 && len(r.silent) > 0 {
+			r.silent[len(r.silent)-1] &= (1 << rem) - 1
+		}
+	}
 	if !s.cfg.Phantom {
 		r.data = r.data[:newPages]
 	}
@@ -626,6 +693,9 @@ func (s *AddressSpace) UnprotectAllData() {
 // whether the write may proceed.
 func (s *AddressSpace) fault(r *Region, addr uint64) error {
 	s.faults++
+	// A delivered fault means the handler chain observes this page after
+	// all, so any earlier DMA write to it is no longer silent.
+	r.clearSilent(r.PageIndex(addr))
 	if s.handler != nil {
 		page := addr &^ (s.cfg.PageSize - 1)
 		s.handler(Fault{Addr: addr, Page: page, Region: r})

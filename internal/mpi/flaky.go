@@ -296,6 +296,7 @@ func (f *netFaults) suppressDup() {
 func (w *World) sendFaulty(msg Message, onComplete func()) {
 	deliver, ack, _, _ := w.planARQ(msg.Src, msg.Dst, msg.Bytes, 0)
 	w.faults.suppressDup()
+	w.trackDelivery(msg.Dst)
 	w.eng.After(deliver, func() { w.ranks[msg.Dst].deliver(msg) })
 	if onComplete != nil {
 		w.eng.After(ack, onComplete)
@@ -318,6 +319,7 @@ func (r *Rank) SendReliable(dst, tag int, bytes uint64, onComplete func(error)) 
 	r.stats.BytesSent += bytes
 	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: w.eng.Now()}
 	if w.faults == nil {
+		w.trackDelivery(dst)
 		w.eng.After(w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
 		if onComplete != nil {
 			w.eng.After(w.net.Latency, func() { onComplete(nil) })
@@ -331,6 +333,7 @@ func (r *Rank) SendReliable(dst, tag int, bytes uint64, onComplete func(error)) 
 	deliver, ack, delivered, acked := w.planARQ(r.id, dst, bytes, maxA)
 	if delivered {
 		w.faults.suppressDup()
+		w.trackDelivery(dst)
 		w.eng.After(deliver, func() { w.ranks[dst].deliver(msg) })
 	}
 	if acked {
@@ -364,6 +367,7 @@ func (r *Rank) SendBestEffort(dst, tag int, bytes uint64, onComplete func()) {
 	r.stats.BytesSent += bytes
 	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: w.eng.Now()}
 	if w.faults == nil {
+		w.trackDelivery(dst)
 		w.eng.After(w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
 	} else {
 		f := w.faults
@@ -373,10 +377,12 @@ func (r *Rank) SendBestEffort(dst, tag int, bytes uint64, onComplete func()) {
 			f.stats.Drops++
 		} else {
 			arr := w.scaledTransfer(bytes, at) + f.jitter()
+			w.trackDelivery(dst)
 			w.eng.After(arr, func() { w.ranks[dst].deliver(msg) })
 			if f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate {
 				f.stats.DupDeliveries++
 				arr2 := arr + w.net.Latency + f.jitter()
+				w.trackDelivery(dst)
 				w.eng.After(arr2, func() { w.ranks[dst].deliver(msg) })
 			}
 		}

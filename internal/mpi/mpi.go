@@ -113,12 +113,24 @@ type pendingMsg struct {
 // Stats aggregates per-rank communication counters.
 type Stats struct {
 	Sends, Recvs     uint64
+	Puts             uint64 // one-sided RDMA writes injected
 	BytesSent        uint64
 	BytesReceived    uint64
 	NICConflicts     uint64 // Direct-mode deliveries that hit protected pages
 	BounceCopyBytes  uint64 // bytes copied out of the bounce buffer by the CPU
 	CollectiveCalls  uint64
 	BarrierWaitTotal des.Time // total time ranks spent waiting in barriers
+
+	// DirectBypassBytes counts bytes DMA'd straight into registered
+	// regions — traffic the CPU (and therefore the write-fault tracker)
+	// never touched.
+	DirectBypassBytes uint64
+	// SilentDirtyBytes counts the subset of DirectBypassBytes that
+	// landed on write-protected pages: the measured IWS under-count.
+	SilentDirtyBytes uint64
+	// RegisteredBytes is the current NIC-registered footprint (a gauge:
+	// RegisterMemory raises it, DeregisterAll lowers it).
+	RegisteredBytes uint64
 }
 
 // Rank is one simulated MPI process.
@@ -127,11 +139,14 @@ type Rank struct {
 	id    int
 	space *mem.AddressSpace
 
-	bounce    *mem.Region // unprotected landing zone (Bounce mode)
+	bounce    *mem.Region // unprotected landing zone (Bounce mode / degraded RDMA)
 	recvQ     []*pendingRecv
 	arrived   []pendingMsg
 	stats     Stats
 	onDeliver func(bytes uint64, at des.Time)
+
+	registered []*MemoryRegion // NIC-pinned regions (see rdma.go)
+	degraded   bool            // sticky bounce-mode fallback after drain timeout
 }
 
 // ID returns the rank number.
@@ -168,6 +183,10 @@ type World struct {
 	// faults, when non-nil, is the installed interconnect fault model
 	// (see flaky.go). Nil means a perfect network.
 	faults *netFaults
+
+	// rdma, when non-nil, is the registered-memory model installed by
+	// EnableRDMA (see rdma.go). Nil worlds skip in-flight tracking.
+	rdma *rdmaState
 }
 
 // NewWorld creates n ranks, each owning one of the provided address
@@ -237,6 +256,7 @@ func (r *Rank) send(dst, tag int, bytes uint64, payload []byte, onComplete func(
 		return
 	}
 	arrival := w.net.transfer(bytes)
+	w.trackDelivery(dst)
 	w.eng.After(arrival, func() {
 		w.ranks[dst].deliver(msg)
 	})
@@ -269,6 +289,7 @@ func (pr *pendingRecv) matches(m Message) bool {
 
 // deliver handles a message arriving at the NIC at the current time.
 func (r *Rank) deliver(m Message) {
+	r.world.untrackDelivery(r.id)
 	m.DeliveredAt = r.world.eng.Now()
 	for i, pr := range r.recvQ {
 		if pr.matches(m) {
@@ -300,6 +321,25 @@ func (r *Rank) complete(pr *pendingRecv, m Message, arrivedAt des.Time) {
 	}
 	switch w.mode {
 	case Direct:
+		if w.rdma != nil {
+			// Registered-memory model: a registered destination takes
+			// the zero-copy DMA path — the write bypasses the CPU, so
+			// protected pages become silent-dirty instead of faulting.
+			// Unregistered destinations (and degraded ranks) fall back
+			// to the bounce arena, like a NIC refusing an unpinned
+			// address.
+			if !r.degraded && r.registeredSpan(pr.addr, m.Bytes) {
+				if m.Payload != nil {
+					r.dmaStore(pr.addr, m.Payload)
+				} else {
+					r.dmaStoreRange(pr.addr, m.Bytes)
+				}
+				finish()
+				return
+			}
+			r.bounceDeliver(pr.addr, m, finish)
+			return
+		}
 		// DMA: no CPU involvement, no write faults — but a protected
 		// destination page is a conflict the hardware cannot resolve.
 		if r.pageSpanProtected(pr.addr, m.Bytes) {
@@ -313,14 +353,21 @@ func (r *Rank) complete(pr *pendingRecv, m Message, arrivedAt des.Time) {
 		r.store(pr.addr, m.Bytes, m.Payload)
 		finish()
 	case Bounce:
-		// NIC lands the payload in the bounce arena (unprotected, no
-		// faults), then the CPU copies it out, faulting normally.
-		r.stats.BounceCopyBytes += m.Bytes
-		w.eng.After(w.net.copyTime(m.Bytes), func() {
-			r.store(pr.addr, m.Bytes, m.Payload)
-			finish()
-		})
+		r.bounceDeliver(pr.addr, m, finish)
 	}
+}
+
+// bounceDeliver lands a message via the bounce arena: the NIC writes
+// into the unprotected buffer (no faults), then the CPU copies the
+// payload to its destination, faulting normally — the paper's
+// workaround, with its copy cost.
+func (r *Rank) bounceDeliver(addr uint64, m Message, finish func()) {
+	w := r.world
+	r.stats.BounceCopyBytes += m.Bytes
+	w.eng.After(w.net.copyTime(m.Bytes), func() {
+		r.store(addr, m.Bytes, m.Payload)
+		finish()
+	})
 }
 
 // pageSpanProtected reports whether any page in [addr, addr+n) is

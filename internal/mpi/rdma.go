@@ -1,0 +1,412 @@
+package mpi
+
+// RDMA registered memory and checkpoint-time drain: the production
+// alternative to the paper's bounce-buffer workaround. An RDMA-capable
+// NIC writes only into memory the application has *registered* (pinned
+// and mapped into the NIC's translation table, at real per-page cost).
+// Registered-region deliveries are zero-copy and take no write faults —
+// which is exactly the §4.2 conflict: a write-protection tracker never
+// sees them, so the incremental write set silently under-counts. Here
+// the under-count is first-class: Direct deliveries into protected
+// pages land via mem.WriteDirect, which marks them silent-dirty, and
+// Stats.SilentDirtyBytes/DirectBypassBytes make the bypass observable.
+//
+// Checkpointing safely therefore requires a drain protocol (Cao et
+// al.): quiesce new traffic, wait for in-flight messages to land,
+// deregister (handing the NIC's pages back to the MMU tracker via
+// mem.ReplaySilent), checkpoint, re-register, reconnect. This file
+// provides the mechanisms — registration bookkeeping, in-flight
+// delivery tracking, AwaitDrain, bounce-mode degradation — while the
+// autonomic supervisor drives the phase state machine.
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+)
+
+// DrainPhase names one phase of the checkpoint-time drain protocol.
+type DrainPhase uint8
+
+const (
+	// PhaseQuiesce stops injecting new RDMA traffic.
+	PhaseQuiesce DrainPhase = iota
+	// PhaseDrainInFlight waits for every in-flight delivery to land.
+	PhaseDrainInFlight
+	// PhaseDeregister tears down NIC registrations and reconciles
+	// silent-dirty pages into the tracker.
+	PhaseDeregister
+	// PhaseCheckpoint commits the global checkpoint line.
+	PhaseCheckpoint
+	// PhaseReregister re-pins the regions with the NIC.
+	PhaseReregister
+	// PhaseReconnect re-establishes transport connections.
+	PhaseReconnect
+
+	// NumDrainPhases is the number of drain-protocol phases.
+	NumDrainPhases = int(PhaseReconnect) + 1
+)
+
+var drainPhaseNames = [NumDrainPhases]string{
+	"quiesce", "drain", "deregister", "checkpoint", "reregister", "reconnect",
+}
+
+func (p DrainPhase) String() string {
+	if int(p) < len(drainPhaseNames) {
+		return drainPhaseNames[p]
+	}
+	return fmt.Sprintf("DrainPhase(%d)", uint8(p))
+}
+
+// ParseDrainPhase maps a phase token (as used by the chaos DSL) to its
+// DrainPhase.
+func ParseDrainPhase(s string) (DrainPhase, error) {
+	for i, name := range drainPhaseNames {
+		if s == name {
+			return DrainPhase(i), nil
+		}
+	}
+	return 0, fmt.Errorf("mpi: unknown drain phase %q", s)
+}
+
+// RDMAConfig parameterises the registered-memory model. Zero fields
+// take defaults (see withDefaults) so the zero value is usable.
+type RDMAConfig struct {
+	// RegisterBase is the fixed cost of one register/deregister call.
+	RegisterBase des.Time
+	// RegisterPerPage is the per-page pinning/translation cost added on
+	// top of RegisterBase.
+	RegisterPerPage des.Time
+	// QuiesceDelay is the time for all ranks to stop injecting traffic.
+	QuiesceDelay des.Time
+	// DrainPoll is the interval at which AwaitDrain re-checks the
+	// in-flight counters.
+	DrainPoll des.Time
+	// ReconnectLatency is the cost of re-establishing transport
+	// connections after re-registration.
+	ReconnectLatency des.Time
+}
+
+func (c RDMAConfig) withDefaults() RDMAConfig {
+	if c.RegisterBase <= 0 {
+		c.RegisterBase = 10 * des.Microsecond
+	}
+	if c.RegisterPerPage <= 0 {
+		c.RegisterPerPage = 300 * des.Nanosecond
+	}
+	if c.QuiesceDelay <= 0 {
+		c.QuiesceDelay = 5 * des.Microsecond
+	}
+	if c.DrainPoll <= 0 {
+		c.DrainPoll = 10 * des.Microsecond
+	}
+	if c.ReconnectLatency <= 0 {
+		c.ReconnectLatency = 100 * des.Microsecond
+	}
+	return c
+}
+
+// MemoryRegion is one registered (NIC-pinned) memory region of a rank.
+type MemoryRegion struct {
+	rank   *Rank
+	region *mem.Region
+}
+
+// Rank returns the owning rank's number.
+func (mr *MemoryRegion) Rank() int { return mr.rank.id }
+
+// Region returns the underlying address-space region.
+func (mr *MemoryRegion) Region() *mem.Region { return mr.region }
+
+// Pages returns the registered page count.
+func (mr *MemoryRegion) Pages() uint64 { return mr.region.Pages() }
+
+// Bytes returns the registered byte count.
+func (mr *MemoryRegion) Bytes() uint64 { return mr.region.Size() }
+
+// rdmaState is the World's RDMA bookkeeping, installed by EnableRDMA.
+type rdmaState struct {
+	cfg      RDMAConfig
+	inflight []int // scheduled-but-unlanded deliveries, by destination rank
+	total    int
+}
+
+// EnableRDMA installs the registered-memory model on a Direct-mode
+// world: each rank gets a bounce arena too (unprotected, tracker-
+// excluded) so it can degrade to bounce-buffer delivery when its
+// destination is unregistered or the drain protocol times out.
+func (w *World) EnableRDMA(cfg RDMAConfig) error {
+	if w.mode != Direct {
+		return fmt.Errorf("mpi: EnableRDMA requires Direct mode, world is %v", w.mode)
+	}
+	for _, r := range w.ranks {
+		if r.bounce != nil {
+			continue
+		}
+		b, err := r.space.Mmap(1 << 20)
+		if err != nil {
+			return fmt.Errorf("mpi: bounce buffer for rank %d: %w", r.id, err)
+		}
+		r.bounce = b
+	}
+	w.rdma = &rdmaState{cfg: cfg.withDefaults(), inflight: make([]int, len(w.ranks))}
+	return nil
+}
+
+// RDMAEnabled reports whether EnableRDMA has been called.
+func (w *World) RDMAEnabled() bool { return w.rdma != nil }
+
+// RDMAConfig returns the installed configuration (zero value if RDMA is
+// not enabled).
+func (w *World) RDMAConfig() RDMAConfig {
+	if w.rdma == nil {
+		return RDMAConfig{}
+	}
+	return w.rdma.cfg
+}
+
+// RegisterCost returns the des-clock cost of registering (or
+// deregistering) a region of the given page count.
+func (w *World) RegisterCost(pages uint64) des.Time {
+	if w.rdma == nil {
+		return 0
+	}
+	return w.rdma.cfg.RegisterBase + des.Time(pages)*w.rdma.cfg.RegisterPerPage
+}
+
+// RegisterMemory pins reg with the NIC so Direct deliveries into it are
+// zero-copy. The returned handle stays valid until DeregisterAll. The
+// caller accounts the registration latency via World.RegisterCost.
+func (r *Rank) RegisterMemory(reg *mem.Region) *MemoryRegion {
+	mr := &MemoryRegion{rank: r, region: reg}
+	r.registered = append(r.registered, mr)
+	r.stats.RegisteredBytes += reg.Size()
+	return mr
+}
+
+// RegisterAllData registers every checkpointable region of the rank's
+// address space (the bounce arena and stack stay unregistered), in
+// address order. Returns the handles and the total registered pages.
+func (r *Rank) RegisterAllData() ([]*MemoryRegion, uint64) {
+	var (
+		regs  []*MemoryRegion
+		pages uint64
+	)
+	for _, reg := range r.space.Regions() {
+		if !reg.Kind().Checkpointable() || reg == r.bounce {
+			continue
+		}
+		regs = append(regs, r.RegisterMemory(reg))
+		pages += reg.Pages()
+	}
+	return regs, pages
+}
+
+// DeregisterAll tears down every registration and reconciles the pages
+// the NIC wrote behind the tracker's back: each silent-dirty page is
+// replayed through the fault-handler chain (mem.ReplaySilent), so the
+// tracker and checkpointer see it before the checkpoint is cut. Returns
+// the deregistered page count and the number of silent pages replayed.
+func (r *Rank) DeregisterAll() (pages, replayed uint64) {
+	for _, mr := range r.registered {
+		pages += mr.region.Pages()
+		r.stats.RegisteredBytes -= mr.region.Size()
+	}
+	r.registered = nil
+	replayed = r.space.ReplaySilent()
+	return pages, replayed
+}
+
+// Registered returns the rank's live registration handles.
+func (r *Rank) Registered() []*MemoryRegion { return r.registered }
+
+// DegradeToBounce permanently switches the rank to bounce-buffer
+// delivery (the paper's workaround): the drain protocol invokes it when
+// a rank's in-flight traffic refuses to drain within the timeout, so
+// the checkpoint can proceed without a torn region. Sticky for the
+// process lifetime — a restarted incarnation starts clean.
+func (r *Rank) DegradeToBounce() { r.degraded = true }
+
+// Degraded reports whether the rank has fallen back to bounce mode.
+func (r *Rank) Degraded() bool { return r.degraded }
+
+// registeredSpan reports whether [addr, addr+n) lies wholly inside one
+// of the rank's registered regions.
+func (r *Rank) registeredSpan(addr, n uint64) bool {
+	for _, mr := range r.registered {
+		if addr >= mr.region.Start() && addr+n <= mr.region.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// trackDelivery records one scheduled delivery event bound for rank
+// dst; untrackDelivery balances it when the event lands at the NIC.
+func (w *World) trackDelivery(dst int) {
+	if w.rdma == nil {
+		return
+	}
+	w.rdma.inflight[dst]++
+	w.rdma.total++
+}
+
+func (w *World) untrackDelivery(dst int) {
+	if w.rdma == nil {
+		return
+	}
+	w.rdma.inflight[dst]--
+	w.rdma.total--
+}
+
+// InFlight returns the number of scheduled-but-unlanded deliveries
+// across the world (0 when RDMA is not enabled).
+func (w *World) InFlight() int {
+	if w.rdma == nil {
+		return 0
+	}
+	return w.rdma.total
+}
+
+// RankInFlight returns the in-flight delivery count bound for rank i.
+func (w *World) RankInFlight(i int) int {
+	if w.rdma == nil {
+		return 0
+	}
+	return w.rdma.inflight[i]
+}
+
+// strandedRanks lists destination ranks with in-flight deliveries, in
+// ascending rank order.
+func (w *World) strandedRanks() []int {
+	var out []int
+	for i, n := range w.rdma.inflight {
+		if n > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AwaitDrain polls the in-flight counters every DrainPoll until they
+// reach zero, then calls fn(nil). If timeout > 0 and the counters are
+// still nonzero once the polls have consumed it, fn receives the list
+// of stranded destination ranks instead — the drain protocol degrades
+// those ranks to bounce mode rather than checkpointing a torn region.
+func (w *World) AwaitDrain(timeout des.Time, fn func(stranded []int)) {
+	if w.rdma == nil {
+		panic("mpi: AwaitDrain without EnableRDMA")
+	}
+	start := w.eng.Now()
+	var poll func()
+	poll = func() {
+		if w.rdma.total == 0 {
+			fn(nil)
+			return
+		}
+		if timeout > 0 && w.eng.Now()-start >= timeout {
+			fn(w.strandedRanks())
+			return
+		}
+		w.eng.After(w.rdma.cfg.DrainPoll, poll)
+	}
+	poll()
+}
+
+// Put performs a one-sided RDMA write: data lands at destAddr in rank
+// dst's address space when the transfer arrives, with no matching Recv
+// — the defining property of one-sided operations, and the reason they
+// are invisible to receive-side interception. In Direct mode with the
+// destination registered the payload lands via DMA (no faults, silent-
+// dirty marking); otherwise it falls back to the bounce path. Under an
+// installed fault model the write rides the exactly-once ARQ schedule.
+// onComplete (optional) runs at the sender's completion (local ack).
+func (r *Rank) Put(dst int, destAddr uint64, data []byte, onComplete func()) {
+	if dst < 0 || dst >= len(r.world.ranks) {
+		panic(fmt.Sprintf("mpi: put to invalid rank %d", dst))
+	}
+	w := r.world
+	n := uint64(len(data))
+	r.stats.Puts++
+	r.stats.BytesSent += n
+	payload := append([]byte(nil), data...)
+	target := w.ranks[dst]
+	if w.faults != nil {
+		deliver, ack, _, _ := w.planARQ(r.id, dst, n, 0)
+		w.faults.suppressDup()
+		w.trackDelivery(dst)
+		w.eng.After(deliver, func() { target.landPut(destAddr, payload) })
+		if onComplete != nil {
+			w.eng.After(ack, onComplete)
+		}
+		return
+	}
+	w.trackDelivery(dst)
+	w.eng.After(w.net.transfer(n), func() { target.landPut(destAddr, payload) })
+	if onComplete != nil {
+		w.eng.After(w.net.Latency, onComplete)
+	}
+}
+
+// landPut lands a one-sided write at the destination NIC.
+func (r *Rank) landPut(addr uint64, payload []byte) {
+	w := r.world
+	w.untrackDelivery(r.id)
+	n := uint64(len(payload))
+	done := func() {
+		r.stats.BytesReceived += n
+		if r.onDeliver != nil {
+			r.onDeliver(n, w.eng.Now())
+		}
+	}
+	if w.mode == Direct && !r.degraded && r.registeredSpan(addr, n) {
+		r.dmaStore(addr, payload)
+		done()
+		return
+	}
+	// Unregistered target, degraded rank, or a Bounce-mode world: the
+	// NIC lands in the bounce arena and the CPU copies out, faulting.
+	r.stats.BounceCopyBytes += n
+	w.eng.After(w.net.copyTime(n), func() {
+		r.store(addr, n, payload)
+		done()
+	})
+}
+
+// dmaStore lands payload at addr with DMA semantics: zero-copy, no
+// write faults, protected pages marked silent-dirty. Clamped to the
+// destination region like store.
+func (r *Rank) dmaStore(addr uint64, payload []byte) {
+	reg := r.space.Find(addr)
+	if reg == nil {
+		return
+	}
+	n := uint64(len(payload))
+	if addr+n > reg.End() {
+		n = reg.End() - addr
+	}
+	silent, err := r.space.WriteDirect(addr, payload[:n])
+	if err != nil {
+		return
+	}
+	r.stats.DirectBypassBytes += n
+	r.stats.SilentDirtyBytes += silent
+}
+
+// dmaStoreRange is dmaStore for size-only deliveries (synthetic fill).
+func (r *Rank) dmaStoreRange(addr, n uint64) {
+	reg := r.space.Find(addr)
+	if reg == nil {
+		return
+	}
+	if addr+n > reg.End() {
+		n = reg.End() - addr
+	}
+	silent, err := r.space.WriteRangeDirect(addr, n)
+	if err != nil {
+		return
+	}
+	r.stats.DirectBypassBytes += n
+	r.stats.SilentDirtyBytes += silent
+}

@@ -1,0 +1,259 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mem"
+)
+
+func rdmaWorld(t *testing.T, n int) (*des.Engine, *World) {
+	t.Helper()
+	eng, w := testWorld(t, n, Direct)
+	if err := w.EnableRDMA(RDMAConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, w
+}
+
+func TestDrainPhaseNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumDrainPhases; i++ {
+		p := DrainPhase(i)
+		got, err := ParseDrainPhase(p.String())
+		if err != nil {
+			t.Fatalf("ParseDrainPhase(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParseDrainPhase("warp"); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}
+
+func TestEnableRDMARequiresDirect(t *testing.T) {
+	_, w := testWorld(t, 2, Bounce)
+	if err := w.EnableRDMA(RDMAConfig{}); err == nil {
+		t.Fatal("EnableRDMA accepted a Bounce world")
+	}
+}
+
+func TestRegisteredDeliveryMarksSilent(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	r0, r1 := w.Rank(0), w.Rank(1)
+	buf := r1.Space().MapData(1 << 16)
+	r1.RegisterMemory(buf)
+	buf.ProtectAll()
+
+	payload := bytes.Repeat([]byte{0x42}, 8192)
+	r1.Recv(0, 1, buf.Start(), nil)
+	r0.SendData(1, 1, payload, nil)
+	eng.Run(des.MaxTime)
+
+	st := r1.Stats()
+	if st.DirectBypassBytes != 8192 {
+		t.Fatalf("DirectBypassBytes = %d, want 8192", st.DirectBypassBytes)
+	}
+	if st.SilentDirtyBytes != 8192 {
+		t.Fatalf("SilentDirtyBytes = %d, want 8192", st.SilentDirtyBytes)
+	}
+	if st.NICConflicts != 0 {
+		t.Fatalf("NICConflicts = %d under the registered-memory model, want 0", st.NICConflicts)
+	}
+	if r1.Space().Faults() != 0 {
+		t.Fatalf("DMA delivery raised %d faults", r1.Space().Faults())
+	}
+	if got := r1.Space().SilentDirtyBytes(); got != 8192 {
+		t.Fatalf("space SilentDirtyBytes = %d, want 8192", got)
+	}
+	got := make([]byte, 8192)
+	if err := r1.Space().Read(buf.Start(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload did not land")
+	}
+}
+
+func TestUnregisteredDeliveryFallsBackToBounce(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	r0, r1 := w.Rank(0), w.Rank(1)
+	buf := r1.Space().MapData(1 << 16)
+	buf.ProtectAll()
+
+	var faults uint64
+	r1.Space().SetFaultHandler(func(f mem.Fault) { faults++; f.Region.SetProtected(f.Addr, false) })
+	r1.Recv(0, 1, buf.Start(), nil)
+	r0.Send(1, 1, 4096, nil)
+	eng.Run(des.MaxTime)
+
+	st := r1.Stats()
+	if st.BounceCopyBytes != 4096 {
+		t.Fatalf("BounceCopyBytes = %d, want 4096 (unregistered fallback)", st.BounceCopyBytes)
+	}
+	if st.DirectBypassBytes != 0 || st.SilentDirtyBytes != 0 {
+		t.Fatalf("bypass stats %d/%d on the bounce path, want 0/0", st.DirectBypassBytes, st.SilentDirtyBytes)
+	}
+	if faults == 0 {
+		t.Fatal("bounce copy raised no faults — tracker would miss it")
+	}
+}
+
+func TestRegisterAllDataAndDeregister(t *testing.T) {
+	_, w := rdmaWorld(t, 1)
+	r := w.Rank(0)
+	d := r.Space().MapData(4 * 4096)
+	regs, pages := r.RegisterAllData()
+	if len(regs) != 1 || pages != 4 {
+		t.Fatalf("RegisterAllData = %d regions / %d pages, want 1/4 (bounce+stack excluded)", len(regs), pages)
+	}
+	if got := r.Stats().RegisteredBytes; got != 4*4096 {
+		t.Fatalf("RegisteredBytes = %d, want %d", got, 4*4096)
+	}
+	d.ProtectAll()
+	if _, err := r.Space().WriteDirect(d.Start(), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	deregPages, replayed := r.DeregisterAll()
+	if deregPages != 4 || replayed != 1 {
+		t.Fatalf("DeregisterAll = %d pages / %d replayed, want 4/1", deregPages, replayed)
+	}
+	if got := r.Stats().RegisteredBytes; got != 0 {
+		t.Fatalf("RegisteredBytes = %d after deregister, want 0", got)
+	}
+	if r.Space().SilentDirtyBytes() != 0 {
+		t.Fatal("deregistration left silent pages")
+	}
+	if cost := w.RegisterCost(4); cost <= 0 {
+		t.Fatalf("RegisterCost(4) = %v, want > 0", cost)
+	}
+}
+
+func TestPutOneSidedDelivery(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	r0, r1 := w.Rank(0), w.Rank(1)
+	win := r1.Space().MapData(4096)
+	r1.RegisterMemory(win)
+	win.ProtectAll()
+
+	completed := false
+	r0.Put(1, win.Start(), []byte{1, 2, 3, 4}, func() { completed = true })
+	if w.InFlight() != 1 || w.RankInFlight(1) != 1 {
+		t.Fatalf("InFlight = %d / RankInFlight(1) = %d after injection, want 1/1", w.InFlight(), w.RankInFlight(1))
+	}
+	eng.Run(des.MaxTime)
+
+	if !completed {
+		t.Fatal("Put completion never ran")
+	}
+	if w.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after run, want 0", w.InFlight())
+	}
+	st := r1.Stats()
+	if st.BytesReceived != 4 || r0.Stats().Puts != 1 {
+		t.Fatalf("receiver got %d bytes, sender Puts = %d; want 4/1", st.BytesReceived, r0.Stats().Puts)
+	}
+	if st.SilentDirtyBytes != 4 {
+		t.Fatalf("SilentDirtyBytes = %d, want 4 (protected page, no Recv posted)", st.SilentDirtyBytes)
+	}
+	got := make([]byte, 4)
+	if err := r1.Space().Read(win.Start(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatal("one-sided payload did not land")
+	}
+}
+
+func TestPutUnderFaultsExactlyOnce(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	if err := w.SetFaults(NetFaultConfig{Seed: 3, DropRate: 0.4, DupRate: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := w.Rank(0), w.Rank(1)
+	win := r1.Space().MapData(4096)
+	r1.RegisterMemory(win)
+
+	for i := 0; i < 20; i++ {
+		r0.Put(1, win.Start(), []byte{byte(i)}, nil)
+	}
+	eng.Run(des.MaxTime)
+	if got := r1.Stats().BytesReceived; got != 20 {
+		t.Fatalf("BytesReceived = %d under ARQ, want exactly 20", got)
+	}
+	if w.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", w.InFlight())
+	}
+}
+
+func TestAwaitDrainCompletes(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	r0, r1 := w.Rank(0), w.Rank(1)
+	win := r1.Space().MapData(1 << 20)
+	r1.RegisterMemory(win)
+
+	r0.Put(1, win.Start(), bytes.Repeat([]byte{7}, 1<<19), nil)
+	var stranded []int
+	drained := false
+	w.AwaitDrain(0, func(s []int) { stranded = s; drained = true })
+	if drained {
+		t.Fatal("AwaitDrain returned synchronously with traffic in flight")
+	}
+	eng.Run(des.MaxTime)
+	if !drained || stranded != nil {
+		t.Fatalf("drained=%v stranded=%v, want true/nil", drained, stranded)
+	}
+}
+
+func TestAwaitDrainTimeoutReportsStranded(t *testing.T) {
+	eng, w := rdmaWorld(t, 3)
+	r0, r2 := w.Rank(0), w.Rank(2)
+	win := r2.Space().MapData(1 << 20)
+	r2.RegisterMemory(win)
+
+	// A transfer whose wire time (>500 µs at 900 MB/s for 512 KB)
+	// dwarfs the drain budget.
+	r0.Put(2, win.Start(), bytes.Repeat([]byte{7}, 1<<19), nil)
+	var stranded []int
+	w.AwaitDrain(50*des.Microsecond, func(s []int) { stranded = s })
+	eng.Run(des.MaxTime)
+	if len(stranded) != 1 || stranded[0] != 2 {
+		t.Fatalf("stranded = %v, want [2]", stranded)
+	}
+}
+
+func TestDegradedRankUsesBouncePath(t *testing.T) {
+	eng, w := rdmaWorld(t, 2)
+	r0, r1 := w.Rank(0), w.Rank(1)
+	win := r1.Space().MapData(4096)
+	r1.RegisterMemory(win)
+	win.ProtectAll()
+	r1.Space().SetFaultHandler(func(f mem.Fault) { f.Region.SetProtected(f.Addr, false) })
+	r1.DegradeToBounce()
+
+	r0.Put(1, win.Start(), []byte{9, 9}, nil)
+	eng.Run(des.MaxTime)
+
+	st := r1.Stats()
+	if st.SilentDirtyBytes != 0 || st.DirectBypassBytes != 0 {
+		t.Fatalf("degraded rank still DMA'd: bypass=%d silent=%d", st.DirectBypassBytes, st.SilentDirtyBytes)
+	}
+	if st.BounceCopyBytes != 2 {
+		t.Fatalf("BounceCopyBytes = %d, want 2", st.BounceCopyBytes)
+	}
+	if !r1.Degraded() {
+		t.Fatal("Degraded not sticky")
+	}
+}
+
+func TestAwaitDrainWithoutRDMAPanics(t *testing.T) {
+	_, w := testWorld(t, 1, Direct)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AwaitDrain without EnableRDMA did not panic")
+		}
+	}()
+	w.AwaitDrain(0, func([]int) {})
+}

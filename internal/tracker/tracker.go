@@ -87,6 +87,10 @@ type Sample struct {
 	RecvBytes uint64
 	// Faults is the number of write faults taken during the slice.
 	Faults uint64
+	// SilentDirtyBytes is the ground-truth IWS under-count at the
+	// alarm: bytes of pages a Direct-mode NIC wrote while protected,
+	// which the fault-driven IWS above therefore misses (§4.2).
+	SilentDirtyBytes uint64
 	// Overhead is the instrumentation CPU time accrued during the slice
 	// (fault handling plus the alarm's re-protection pass).
 	Overhead des.Time
@@ -317,6 +321,8 @@ func (t *Tracker) onAlarm(at des.Time) {
 		FootprintBytes: t.space.Footprint(),
 		RecvBytes:      t.sliceRecv,
 		Faults:         t.sliceFaults,
+
+		SilentDirtyBytes: t.space.SilentDirtyBytes(),
 	}
 	t.sampleCount++
 	t.sliceStart = at

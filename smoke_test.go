@@ -36,6 +36,7 @@ func TestExampleSmoke(t *testing.T) {
 		{"self_healing", "bit-identical result"},
 		{"chaos_replay", "replay is BIT-EXACT"},
 		{"ckpt_service", "service is LOSSLESS"},
+		{"rdma_drain", "drain replay is BIT-EXACT"},
 	} {
 		tc := tc
 		t.Run(tc.example, func(t *testing.T) {
