@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|rdma|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|rdma|ckptset|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, ckptset, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	prof := profiling.AddFlags()
@@ -203,6 +203,15 @@ func main() {
 		}
 		fmt.Println("Ablation: RDMA direct-write delivery vs bounce buffers vs the drain protocol (A18), one-sided ring, 3 ranks")
 		fmt.Print(experiments.FormatRDMA(rows))
+		fmt.Println()
+	}
+	if *fig == "ckptset" || *fig == "all" {
+		rows, err := experiments.CkptSetAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: analysis-selected vs whole-data-segment protection (A19), 5 kernels, seeded mid-run crash")
+		fmt.Print(experiments.FormatCkptSet(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // TestRepoLintsClean runs the real multichecker — same loader, same
@@ -79,5 +83,98 @@ func NewGen() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
 		if !bytes.Contains(out.Bytes(), []byte("["+category+"]")) {
 			t.Errorf("planted module: no %s finding in output:\n%s", category, out.String())
 		}
+	}
+
+	// The same run through -json: a parseable array carrying the same
+	// findings with populated positions.
+	var jsonOut bytes.Buffer
+	n, err = LintJSON(&jsonOut, dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("json lint failed to run: %v", err)
+	}
+	var findings []Finding
+	if err := json.Unmarshal(jsonOut.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, jsonOut.String())
+	}
+	if len(findings) != 5 || n != 5 {
+		t.Fatalf("-json reported %d findings (returned %d), want 5", len(findings), n)
+	}
+	checks := make(map[string]bool)
+	for _, f := range findings {
+		checks[f.Check] = true
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding with missing fields: %+v", f)
+		}
+	}
+	for _, category := range []string{"detlint", "maporder", "errwrap", "seedplumb"} {
+		if !checks[category] {
+			t.Errorf("-json output missing a %s finding", category)
+		}
+	}
+}
+
+// TestLintJSONCleanIsEmptyArray: a clean run emits [], not null — CI
+// tooling gets an array either way.
+func TestLintJSONCleanIsEmptyArray(t *testing.T) {
+	var out bytes.Buffer
+	n, err := LintJSON(&out, ".", []string{"./internal/bitset"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("bitset lints dirty: %s", out.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+// TestSpecFilesMatchCommitted is the drift gate run in-process:
+// regenerating every matched spec must reproduce the committed files
+// byte for byte. CI enforces the same with -write-specs + git diff.
+func TestSpecFilesMatchCommitted(t *testing.T) {
+	files, err := SpecFiles(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no packages with protection regions found; expected internal/kernels")
+	}
+	sawKernels := false
+	for path, content := range files {
+		if filepath.Base(path) == "kernels.ckptspec" {
+			sawKernels = true
+		}
+		committed, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: computed but not committed (%v); run `go run ./cmd/lint -write-specs ./...`", path, err)
+			continue
+		}
+		if string(committed) != content {
+			t.Errorf("%s is stale; run `go run ./cmd/lint -write-specs ./...`", path)
+		}
+	}
+	if !sawKernels {
+		t.Errorf("SpecFiles produced %d files but none for internal/kernels", len(files))
+	}
+	// And the reverse: no committed spec without a generating package.
+	modDir, _, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.Walk(modDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".ckptspec" {
+			return err
+		}
+		if strings.Contains(path, "testdata") {
+			return nil
+		}
+		if _, ok := files[path]; !ok {
+			t.Errorf("%s committed but no package generates it", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

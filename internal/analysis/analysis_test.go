@@ -65,6 +65,7 @@ func TestSuppression(t *testing.T) {
 		{22, "frametest"}, // directive names a different check
 		{26, "lint"},      // malformed directive (missing reason)
 		{27, "frametest"}, // ... which therefore suppresses nothing
+		{31, "lint"},      // unused directive: out of reach, suppresses nothing
 		{33, "frametest"}, // directive separated by a blank line
 	}
 	if len(got) != len(want) {
@@ -76,8 +77,22 @@ func TestSuppression(t *testing.T) {
 		}
 	}
 	for _, d := range diags {
-		if d.Category == "lint" && !strings.Contains(d.Message, "malformed //lint:ignore") {
-			t.Errorf("malformed-directive message = %q", d.Message)
+		if d.Category != "lint" {
+			continue
+		}
+		if !strings.Contains(d.Message, "malformed //lint:ignore") &&
+			!strings.Contains(d.Message, "unused //lint:ignore") {
+			t.Errorf("lint-category message = %q", d.Message)
+		}
+	}
+	// The unused finding names the idle check; directives naming checks
+	// absent from the run (line 21's "othercheck") are not flagged.
+	for _, d := range diags {
+		if d.Position.Line == 31 && !strings.Contains(d.Message, `"frametest"`) {
+			t.Errorf("unused-directive message = %q", d.Message)
+		}
+		if d.Position.Line == 21 {
+			t.Errorf("directive naming a non-running check flagged: %q", d.Message)
 		}
 	}
 }

@@ -1,0 +1,834 @@
+// Package ckptset identifies the checkpoint set of a kernel package:
+// a data-dependency pass that classifies every protection role — a
+// struct field holding a kernel array (a named type whose pointer
+// method set carries Write([]float64, int) error and Read([]float64,
+// int) error) or a raw memory region — as must-checkpoint,
+// recomputable, or unknown, and checks the committed .ckptspec file
+// for drift against that classification.
+//
+// The lattice, from the paper's point of view: a region whose contents
+// are live across an iteration boundary must be captured (losing it
+// loses the solution); a region fully rewritten before any read in
+// every step, or derivable by a self-contained fill method, costs
+// checkpoint bytes for nothing and can be excluded if a restore-time
+// recompute hook exists; anything the analysis cannot see through is
+// protected conservatively.
+//
+// Classification per role, in precedence order:
+//
+//   - raw *Region fields (structurally: Start() uint64 + ProtectAll())
+//     are unknown — writes bypass the array API and are invisible;
+//   - a role that escapes (aliased into a composite literal, returned,
+//     reassigned, indexed outside a modeled call, exported, or touched
+//     by an unmodeled method) is must;
+//   - a live-in role (read before written in some method) whose only
+//     writers are hook-shaped methods (no params, error result) that
+//     write this role alone and read nothing is a recomputable table;
+//   - a live-in role otherwise is must;
+//   - a role written by step code but never live-in is recomputable
+//     scratch;
+//   - a role never accessed outside its constructor is unknown.
+//
+// The pass is conservative about control flow: writes inside an
+// if-without-else, a switch, or a loop body do not count as covering
+// later reads (the branch may not run, the loop may run zero times),
+// while a write-then-read inside one loop body is covered. Constructor
+// accesses (functions returning the roled type) initialise rather than
+// step, so they never affect liveness — but aliasing a role inside a
+// constructor still escapes it.
+//
+// Only packages declaring at least one array role participate; the
+// memory and checkpoint layers hold *mem.Region fields for plumbing,
+// not for protection policy, and get no spec demanded of them.
+package ckptset
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ckptspec"
+)
+
+// Analyzer checks committed protection-region specs against the
+// classification computed from source.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptset",
+	Doc:  "classify kernel protection regions (must / recomputable / unknown) and report drift against the committed .ckptspec",
+	Run:  run,
+}
+
+// The modeled surface of a kernel array. Any other method invoked on a
+// role is unmodeled and escapes it.
+var (
+	arrayReads   = map[string]bool{"Read": true, "At": true, "Checksum": true}
+	arrayWrites  = map[string]bool{"Write": true, "Fill": true}
+	arrayNeutral = map[string]bool{"Len": true, "Region": true, "Free": true}
+)
+
+// Canonical reason strings. ComputeSpec output must be byte-stable, so
+// every classification path funnels into one of these forms.
+const (
+	reasonEscape = "escapes: aliased, returned, or passed to unmodeled code"
+	reasonRaw    = "raw region: writes invisible to the analysis"
+	reasonIdle   = "idle: no step reads or writes; conservatively protected"
+)
+
+// A role is one protection region: a struct field of array or region
+// type, identified as Type.field.
+type role struct {
+	name  string
+	field *types.Var
+	pos   token.Pos
+	raw   bool // *Region (or slice of): class is Unknown outright
+
+	escaped bool
+	// liveIn, written: function names (non-constructor) with a
+	// read-before-write of, respectively any write to, this role.
+	liveIn  map[string]bool
+	written map[string]bool
+}
+
+// A fnInfo aggregates one function's role accesses for the table rule.
+type fnInfo struct {
+	name     string
+	ctor     bool
+	hookable bool // func() error shape: usable as a recompute hook
+	reads    map[*role]bool
+	writes   map[*role]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec, positions := compute(pass.Files, pass.Pkg, pass.TypesInfo)
+	if spec == nil {
+		return nil, nil
+	}
+	at := pass.Files[0].Package
+	name := pass.Pkg.Name() + ".ckptspec"
+	path := filepath.Join(filepath.Dir(pass.Fset.Position(at).Filename), name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(at, "package declares %d protection regions but has no %s; regenerate with `go run ./cmd/lint -write-specs ./...`",
+			len(spec.Regions), name)
+		return nil, nil
+	}
+	committed, err := ckptspec.Parse(data)
+	if err != nil {
+		pass.Reportf(at, "%s is unparseable (%v); regenerate with `go run ./cmd/lint -write-specs ./...`", name, err)
+		return nil, nil
+	}
+	if committed.Package != spec.Package {
+		pass.Reportf(at, "%s names package %q, want %q; regenerate with `go run ./cmd/lint -write-specs ./...`",
+			name, committed.Package, spec.Package)
+	}
+	for _, r := range spec.Regions {
+		pos := positions[r.Name]
+		c, ok := committed.Lookup(r.Name)
+		switch {
+		case !ok:
+			pass.Reportf(pos, "spec drift: %s classified %s (%s) but missing from %s", r.Name, r.Class, r.Reason, name)
+		case c.Class != r.Class:
+			pass.Reportf(pos, "spec drift: %s is %s (%s) but %s says %s", r.Name, r.Class, r.Reason, name, c.Class)
+		case c.Reason != r.Reason:
+			pass.Reportf(pos, "spec drift: %s reason is %q but %s says %q", r.Name, r.Reason, name, c.Reason)
+		}
+	}
+	for _, c := range committed.Regions {
+		if _, ok := spec.Lookup(c.Name); !ok {
+			pass.Reportf(at, "spec drift: stale entry %s in %s; no such protection region", c.Name, name)
+		}
+	}
+	return nil, nil
+}
+
+// ComputeSpec derives the protection-region spec for a loaded package.
+// It returns nil for packages that declare no array roles — only
+// kernel packages carry protection policy.
+func ComputeSpec(p *analysis.Package) *ckptspec.Spec {
+	spec, _ := compute(p.Files, p.Types, p.Info)
+	return spec
+}
+
+// compute runs role discovery, the per-function access analysis, and
+// classification. The returned map carries each region's field
+// position for drift diagnostics.
+func compute(files []*ast.File, pkg *types.Package, info *types.Info) (*ckptspec.Spec, map[string]token.Pos) {
+	an := &pkgAnalysis{
+		info:   info,
+		roles:  make(map[*types.Var]*role),
+		owners: make(map[types.Type]bool),
+	}
+	an.discoverRoles(pkg)
+	hasArray := false
+	for _, r := range an.roles {
+		if !r.raw {
+			hasArray = true
+		}
+	}
+	if !hasArray {
+		return nil, nil
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			an.funcs = append(an.funcs, an.analyzeFunc(fd))
+		}
+	}
+	spec := &ckptspec.Spec{Package: pkg.Path()}
+	positions := make(map[string]token.Pos)
+	for _, r := range an.sortedRoles() {
+		spec.Regions = append(spec.Regions, an.classify(r))
+		positions[r.name] = r.pos
+	}
+	spec.Sort()
+	return spec, positions
+}
+
+type pkgAnalysis struct {
+	info   *types.Info
+	roles  map[*types.Var]*role
+	owners map[types.Type]bool // named types that declare at least one role
+	funcs  []*fnInfo
+}
+
+// discoverRoles walks the package scope for struct types and registers
+// every array- or region-typed field. Struct types that are themselves
+// arrays or regions are skipped: a wrapper's internals sit below the
+// abstraction boundary the analysis models.
+func (an *pkgAnalysis) discoverRoles(pkg *types.Package) {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || isArrayType(named) || isRegionType(named) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			raw, ok := roleKind(f.Type())
+			if !ok {
+				continue
+			}
+			an.roles[f] = &role{
+				name:    name + "." + f.Name(),
+				field:   f,
+				pos:     f.Pos(),
+				raw:     raw,
+				escaped: f.Exported(), // exported fields alias beyond the package
+				liveIn:  make(map[string]bool),
+				written: make(map[string]bool),
+			}
+			an.owners[named] = true
+		}
+	}
+}
+
+// roleKind reports whether t makes its field a role, and whether that
+// role is a raw region. Slices of array or region pointers count: a
+// per-rank arena table is as much a protection region as a scalar one.
+func roleKind(t types.Type) (raw, ok bool) {
+	if sl, isSlice := t.Underlying().(*types.Slice); isSlice {
+		t = sl.Elem()
+	}
+	pt, isPtr := t.Underlying().(*types.Pointer)
+	if !isPtr {
+		return false, false
+	}
+	named, isNamed := pt.Elem().(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	if isArrayType(named) {
+		return false, true
+	}
+	if isRegionType(named) {
+		return true, true
+	}
+	return false, false
+}
+
+// isArrayType reports whether *T structurally is a kernel array:
+// Write([]float64, int) error and Read([]float64, int) error.
+func isArrayType(named *types.Named) bool {
+	return hasMethodSig(named, "Write", sigSliceIntErr) && hasMethodSig(named, "Read", sigSliceIntErr)
+}
+
+// isRegionType reports whether *T structurally is a raw memory region:
+// Start() uint64 and ProtectAll().
+func isRegionType(named *types.Named) bool {
+	return hasMethodSig(named, "Start", sigStartUint64) && hasMethodSig(named, "ProtectAll", sigNoArgNoRet)
+}
+
+func hasMethodSig(named *types.Named, name string, match func(*types.Signature) bool) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != name {
+			continue
+		}
+		return match(fn.Type().(*types.Signature))
+	}
+	return false
+}
+
+func sigSliceIntErr(sig *types.Signature) bool {
+	p, r := sig.Params(), sig.Results()
+	if p.Len() != 2 || r.Len() != 1 {
+		return false
+	}
+	sl, ok := p.At(0).Type().(*types.Slice)
+	if !ok || !isFloat64(sl.Elem()) {
+		return false
+	}
+	return isInt(p.At(1).Type()) && isError(r.At(0).Type())
+}
+
+func sigStartUint64(sig *types.Signature) bool {
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		isBasic(sig.Results().At(0).Type(), types.Uint64)
+}
+
+func sigNoArgNoRet(sig *types.Signature) bool {
+	return sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+func isFloat64(t types.Type) bool { return isBasic(t, types.Float64) }
+func isInt(t types.Type) bool     { return isBasic(t, types.Int) }
+
+func isBasic(t types.Type, k types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == k
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// analyzeFunc interprets one function body in statement order,
+// recording role accesses. Constructors (plain functions whose results
+// include a roled type) bind locals to the fields they initialise;
+// their reads and writes are initialisation, not steps.
+func (an *pkgAnalysis) analyzeFunc(fd *ast.FuncDecl) *fnInfo {
+	fa := &funcAnalysis{
+		an: an,
+		info: &fnInfo{
+			name:     fd.Name.Name,
+			hookable: hookShape(fd),
+			reads:    make(map[*role]bool),
+			writes:   make(map[*role]bool),
+		},
+		locals: make(map[types.Object]*role),
+		exempt: make(map[*ast.Ident]bool),
+	}
+	if fd.Recv == nil && an.resultsRoledType(fd) {
+		fa.info.ctor = true
+		fa.bindCtorLocals(fd.Body)
+	}
+	fa.walkStmt(fd.Body, make(map[*role]bool))
+	return fa.info
+}
+
+// resultsRoledType reports whether fd returns a type that owns roles —
+// the constructor signature shape.
+func (an *pkgAnalysis) resultsRoledType(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := an.info.TypeOf(res.Type)
+		if t == nil {
+			continue
+		}
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		if an.owners[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// hookShape reports whether fd can serve as a restore-time recompute
+// hook: a method with no parameters and a single error result.
+func hookShape(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Type.Params.NumFields() != 0 {
+		return false
+	}
+	res := fd.Type.Results
+	if res == nil || res.NumFields() != 1 {
+		return false
+	}
+	id, ok := res.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+type funcAnalysis struct {
+	an   *pkgAnalysis
+	info *fnInfo
+	// locals maps constructor locals to the role they initialise;
+	// exempt marks the binding occurrences themselves (the composite
+	// literal value, the field-assignment operands) so the binding is
+	// not read back as an escape.
+	locals map[types.Object]*role
+	exempt map[*ast.Ident]bool
+}
+
+// bindCtorLocals pre-scans a constructor body for the idioms that tie
+// a local variable to a role field: a composite literal entry
+// (&T{field: local}) or a direct field assignment (v.field = local).
+func (fa *funcAnalysis) bindCtorLocals(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				val, ok := kv.Value.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				f, _ := fa.an.info.Uses[key].(*types.Var)
+				r := fa.an.roles[f]
+				if r == nil {
+					continue
+				}
+				if obj := fa.an.info.Uses[val]; obj != nil {
+					fa.locals[obj] = r
+					fa.exempt[val] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			sel, ok := n.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			val, ok := n.Rhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			r := fa.an.roles[fa.fieldOf(sel)]
+			if r == nil {
+				return true
+			}
+			if obj := fa.an.info.Uses[val]; obj != nil {
+				fa.locals[obj] = r
+				fa.exempt[val] = true
+				fa.exempt[sel.Sel] = true
+			}
+		}
+		return true
+	})
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func (fa *funcAnalysis) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := fa.an.info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	v, _ := fa.an.info.Uses[sel.Sel].(*types.Var)
+	return v
+}
+
+// roleOf resolves an expression to the role it accesses: a field
+// selector on any base (recv.f, d.grids[i] after index unwrap), or a
+// bare constructor local bound to a role. Binding occurrences are
+// exempt — they define the tie, they do not use the array.
+func (fa *funcAnalysis) roleOf(e ast.Expr) *role {
+	e = unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = unparen(ix.X)
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if fa.exempt[x.Sel] {
+			return nil
+		}
+		return fa.an.roles[fa.fieldOf(x)]
+	case *ast.Ident:
+		if fa.exempt[x] {
+			return nil
+		}
+		return fa.locals[fa.an.info.Uses[x]]
+	}
+	return nil
+}
+
+func (fa *funcAnalysis) escape(r *role) {
+	if !r.raw {
+		r.escaped = true
+	}
+}
+
+// roleCall records a modeled method call on a role. Raw-region roles
+// are already pinned at Unknown; constructor reads and writes
+// initialise rather than step. Unmodeled methods escape.
+func (fa *funcAnalysis) roleCall(r *role, method string, written map[*role]bool) {
+	if r.raw {
+		return
+	}
+	switch {
+	case arrayWrites[method]:
+		if !fa.info.ctor {
+			fa.info.writes[r] = true
+			r.written[fa.info.name] = true
+		}
+		written[r] = true
+	case arrayReads[method]:
+		if !fa.info.ctor {
+			fa.info.reads[r] = true
+			if !written[r] {
+				r.liveIn[fa.info.name] = true
+			}
+		}
+	case arrayNeutral[method]:
+	default:
+		fa.escape(r)
+	}
+}
+
+func copyState(m map[*role]bool) map[*role]bool {
+	c := make(map[*role]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// walkStmt interprets stmt with written tracking which roles are
+// definitely written so far on this path. Branch and loop bodies run
+// on copies; only an if/else pair merges writes back (by
+// intersection), because either arm may be the one that executes.
+func (fa *funcAnalysis) walkStmt(s ast.Stmt, written map[*role]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			fa.walkStmt(st, written)
+		}
+	case *ast.ExprStmt:
+		fa.walkExpr(s.X, written)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			fa.walkExpr(rhs, written)
+		}
+		for _, lhs := range s.Lhs {
+			// Reassigning a role field (or element) re-points the
+			// protection region itself: aliasing beyond the model.
+			if r := fa.roleOf(lhs); r != nil {
+				fa.escape(r)
+				continue
+			}
+			fa.walkLhs(lhs, written)
+		}
+	case *ast.IfStmt:
+		fa.walkStmt(s.Init, written)
+		fa.walkExpr(s.Cond, written)
+		then := copyState(written)
+		fa.walkStmt(s.Body, then)
+		if s.Else == nil {
+			return // branch may not run: its writes cover nothing later
+		}
+		els := copyState(written)
+		fa.walkStmt(s.Else, els)
+		for r := range then {
+			if then[r] && els[r] {
+				written[r] = true
+			}
+		}
+	case *ast.ForStmt:
+		fa.walkStmt(s.Init, written)
+		fa.walkExpr(s.Cond, written)
+		body := copyState(written)
+		fa.walkStmt(s.Body, body)
+		fa.walkStmt(s.Post, body)
+		// Zero iterations are possible: body writes do not persist.
+	case *ast.RangeStmt:
+		if r := fa.roleOf(s.X); r != nil {
+			fa.escape(r) // ranging aliases elements into loop vars
+		} else {
+			fa.walkExpr(s.X, written)
+		}
+		body := copyState(written)
+		fa.walkStmt(s.Body, body)
+	case *ast.SwitchStmt:
+		fa.walkStmt(s.Init, written)
+		fa.walkExpr(s.Tag, written)
+		for _, cc := range s.Body.List {
+			fa.walkStmt(cc, copyState(written))
+		}
+	case *ast.TypeSwitchStmt:
+		fa.walkStmt(s.Init, written)
+		fa.walkStmt(s.Assign, written)
+		for _, cc := range s.Body.List {
+			fa.walkStmt(cc, copyState(written))
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			fa.walkStmt(cc, copyState(written))
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			fa.walkExpr(e, written)
+		}
+		for _, st := range s.Body {
+			fa.walkStmt(st, written)
+		}
+	case *ast.CommClause:
+		fa.walkStmt(s.Comm, written)
+		for _, st := range s.Body {
+			fa.walkStmt(st, written)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			// Returning a role hands the array to the caller.
+			if r := fa.roleOf(e); r != nil {
+				fa.escape(r)
+				continue
+			}
+			fa.walkExpr(e, written)
+		}
+	case *ast.DeferStmt:
+		fa.walkExpr(s.Call, copyState(written)) // runs at exit, order unknown
+	case *ast.GoStmt:
+		fa.walkExpr(s.Call, copyState(written))
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, sp := range gd.Specs {
+			if vs, ok := sp.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					fa.walkExpr(v, written)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		fa.walkStmt(s.Stmt, written)
+	case *ast.IncDecStmt:
+		fa.walkExpr(s.X, written)
+	case *ast.SendStmt:
+		fa.walkExpr(s.Chan, written)
+		fa.walkExpr(s.Value, written)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// walkLhs handles non-role assignment targets whose subexpressions may
+// still touch roles (buf[i] = x, s.other.field = x).
+func (fa *funcAnalysis) walkLhs(lhs ast.Expr, written map[*role]bool) {
+	switch x := unparen(lhs).(type) {
+	case *ast.Ident:
+	case *ast.IndexExpr:
+		fa.walkExpr(x.X, written)
+		fa.walkExpr(x.Index, written)
+	case *ast.SelectorExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.StarExpr:
+		fa.walkExpr(x.X, written)
+	default:
+		fa.walkExpr(lhs, written)
+	}
+}
+
+// walkExpr interprets an expression. A role appearing as the receiver
+// of a modeled method call is classified; a role appearing anywhere
+// else escapes.
+func (fa *funcAnalysis) walkExpr(e ast.Expr, written map[*role]bool) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if r := fa.roleOf(sel.X); r != nil {
+				fa.roleCall(r, sel.Sel.Name, written)
+				fa.walkBelowRole(sel.X, written)
+				for _, a := range x.Args {
+					fa.walkArg(a, written)
+				}
+				return
+			}
+		}
+		fa.walkExpr(x.Fun, written)
+		for _, a := range x.Args {
+			fa.walkArg(a, written)
+		}
+	case *ast.SelectorExpr:
+		if r := fa.roleOf(x); r != nil {
+			fa.escape(r)
+			return
+		}
+		fa.walkExpr(x.X, written)
+	case *ast.IndexExpr:
+		if r := fa.roleOf(x); r != nil {
+			fa.escape(r)
+			return
+		}
+		fa.walkExpr(x.X, written)
+		fa.walkExpr(x.Index, written)
+	case *ast.Ident:
+		if r := fa.roleOf(x); r != nil {
+			fa.escape(r)
+		}
+	case *ast.ParenExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.UnaryExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.StarExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.BinaryExpr:
+		fa.walkExpr(x.X, written)
+		fa.walkExpr(x.Y, written)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				fa.walkArg(kv.Value, written)
+				continue
+			}
+			fa.walkArg(elt, written)
+		}
+	case *ast.KeyValueExpr:
+		fa.walkArg(x.Value, written)
+	case *ast.SliceExpr:
+		fa.walkExpr(x.X, written)
+		fa.walkExpr(x.Low, written)
+		fa.walkExpr(x.High, written)
+		fa.walkExpr(x.Max, written)
+	case *ast.TypeAssertExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.FuncLit:
+		// A closure may run later, out of statement order: analyze on
+		// a fresh copy so its writes cover nothing outside.
+		fa.walkStmt(x.Body, copyState(written))
+	}
+}
+
+// walkArg walks an expression in argument position, where a bare role
+// is an escape (the callee gets the array).
+func (fa *funcAnalysis) walkArg(e ast.Expr, written map[*role]bool) {
+	if r := fa.roleOf(e); r != nil {
+		fa.escape(r)
+		return
+	}
+	fa.walkExpr(e, written)
+}
+
+// walkBelowRole walks the base of a role selector after the role call
+// itself was handled (d.grids[i].Write → walk d and i, not grids).
+func (fa *funcAnalysis) walkBelowRole(e ast.Expr, written map[*role]bool) {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		fa.walkExpr(x.X, written)
+	case *ast.IndexExpr:
+		fa.walkExpr(x.Index, written)
+		if sel, ok := unparen(x.X).(*ast.SelectorExpr); ok {
+			fa.walkExpr(sel.X, written)
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (an *pkgAnalysis) sortedRoles() []*role {
+	rs := make([]*role, 0, len(an.roles))
+	for _, r := range an.roles {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].name < rs[j].name })
+	return rs
+}
+
+// classify applies the lattice to one analyzed role.
+func (an *pkgAnalysis) classify(r *role) ckptspec.Region {
+	if r.raw {
+		return ckptspec.Region{Name: r.name, Class: ckptspec.Unknown, Reason: reasonRaw}
+	}
+	if r.escaped {
+		return ckptspec.Region{Name: r.name, Class: ckptspec.Must, Reason: reasonEscape}
+	}
+	if len(r.liveIn) > 0 {
+		if writers, ok := an.tableWriters(r); ok {
+			return ckptspec.Region{
+				Name:   r.name,
+				Class:  ckptspec.Recomputable,
+				Reason: fmt.Sprintf("table: derived by %s; restore recomputes", strings.Join(writers, ", ")),
+			}
+		}
+		return ckptspec.Region{
+			Name:   r.name,
+			Class:  ckptspec.Must,
+			Reason: fmt.Sprintf("live across iterations: read before written in %s", firstKey(r.liveIn)),
+		}
+	}
+	if len(r.written) > 0 {
+		return ckptspec.Region{Name: r.name, Class: ckptspec.Recomputable, Reason: "scratch: written before any read in every step"}
+	}
+	return ckptspec.Region{Name: r.name, Class: ckptspec.Unknown, Reason: reasonIdle}
+}
+
+// tableWriters reports whether every writer of r is a self-contained
+// fill: a hook-shaped method that writes r alone and reads no role. If
+// so, a restore can drop the region and rerun the writers.
+func (an *pkgAnalysis) tableWriters(r *role) ([]string, bool) {
+	var names []string
+	for _, f := range an.funcs {
+		if f.ctor || !f.writes[r] {
+			continue
+		}
+		if !f.hookable || len(f.writes) != 1 || len(f.reads) != 0 {
+			return nil, false
+		}
+		names = append(names, f.name)
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	sort.Strings(names)
+	return names, true
+}
+
+func firstKey(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
+}

@@ -1,0 +1,102 @@
+package ckptset_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ckptset"
+)
+
+// TestGoldenInSync: a package whose committed spec matches the
+// computed classification produces zero diagnostics. The package
+// covers every class edge: live-in, escape by return / swap / ctor
+// alias, conditional write, zero-iteration loop, scratch, table, raw
+// region, idle, across multiple files.
+func TestGoldenInSync(t *testing.T) {
+	analysistest.Run(t, ckptset.Analyzer, "ckptgood")
+}
+
+// TestGoldenDrift pins the drift diagnostics: class mismatch, reason
+// mismatch, missing entry, stale entry.
+func TestGoldenDrift(t *testing.T) {
+	analysistest.Run(t, ckptset.Analyzer, "ckptdrift")
+}
+
+// TestGoldenMissingSpec: a package with roles and no committed spec.
+func TestGoldenMissingSpec(t *testing.T) {
+	analysistest.Run(t, ckptset.Analyzer, "ckptmissing")
+}
+
+// TestGoldenBadSpec: an unparseable committed spec is reported.
+func TestGoldenBadSpec(t *testing.T) {
+	analysistest.Run(t, ckptset.Analyzer, "ckptbadspec")
+}
+
+func loadGolden(t *testing.T, pkg string) *analysis.Package {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := analysis.NewLoader(src, "golden.test").LoadDir(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestComputeSpecDeterministic: two computations over the same package
+// encode byte-identically — the spec format is diffable, so the
+// generator must never leak map order.
+func TestComputeSpecDeterministic(t *testing.T) {
+	a := ckptset.ComputeSpec(loadGolden(t, "ckptgood")).Encode()
+	b := ckptset.ComputeSpec(loadGolden(t, "ckptgood")).Encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two encodings differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestComputeSpecSkipsRoleFreePackages: a package with no array roles
+// gets no spec demanded of it.
+func TestComputeSpecSkipsRoleFreePackages(t *testing.T) {
+	modDir, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader(modDir, modPath).LoadDir("internal/bitset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec := ckptset.ComputeSpec(pkg); spec != nil {
+		t.Errorf("bitset spec = %+v, want nil", spec)
+	}
+}
+
+// TestKernelsSpecInSync recomputes the real kernels spec and compares
+// it byte-for-byte against the committed kernels.ckptspec — the same
+// gate CI applies with `lint -write-specs && git diff`.
+func TestKernelsSpecInSync(t *testing.T) {
+	modDir, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader(modDir, modPath).LoadDir("internal/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ckptset.ComputeSpec(pkg)
+	if spec == nil {
+		t.Fatal("kernels package computed no spec")
+	}
+	committed, err := os.ReadFile(filepath.Join(modDir, "internal", "kernels", "kernels.ckptspec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spec.Encode(), committed) {
+		t.Errorf("kernels.ckptspec is stale; regenerate with `go run ./cmd/lint -write-specs ./...`\ncomputed:\n%s\ncommitted:\n%s", spec.Encode(), committed)
+	}
+}

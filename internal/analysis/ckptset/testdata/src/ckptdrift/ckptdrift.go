@@ -1,0 +1,51 @@
+// Package ckptdrift pins every drift diagnostic: a class mismatch, a
+// reason mismatch, an entry missing from the committed spec, and a
+// stale committed entry whose role no longer exists. It imports the
+// ckptgood mini framework rather than redeclaring it — roles are
+// discovered structurally across package boundaries.
+package ckptdrift // want `spec drift: stale entry Sim\.gone in ckptdrift\.ckptspec; no such protection region`
+
+import "golden.test/ckptgood"
+
+// Sim's committed spec disagrees with the source on purpose.
+type Sim struct {
+	grid *ckptgood.Array // want `spec drift: Sim\.grid is must \(live across iterations: read before written in Step\) but ckptdrift\.ckptspec says recomputable`
+	work *ckptgood.Array // want `spec drift: Sim\.work classified recomputable \(scratch: written before any read in every step\) but missing from ckptdrift\.ckptspec`
+	buf  *ckptgood.Array // want `spec drift: Sim\.buf reason is "scratch: written before any read in every step" but ckptdrift\.ckptspec says "hand-edited reason"`
+}
+
+func NewSim(sp *ckptgood.Space) (*Sim, error) {
+	grid, err := sp.Alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	work, err := sp.Alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := sp.Alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{grid: grid, work: work, buf: buf}, nil
+}
+
+func (s *Sim) Step() error {
+	v := make([]float64, 8)
+	if err := s.grid.Read(v, 0); err != nil {
+		return err
+	}
+	if err := s.work.Write(v, 0); err != nil {
+		return err
+	}
+	if err := s.work.Read(v, 0); err != nil {
+		return err
+	}
+	if err := s.buf.Write(v, 0); err != nil {
+		return err
+	}
+	if err := s.buf.Read(v, 0); err != nil {
+		return err
+	}
+	return s.grid.Write(v, 0)
+}

@@ -1,0 +1,64 @@
+// Package ckptgood is the in-sync golden package: its committed
+// ckptgood.ckptspec matches the analyzer's classification exactly, so
+// the run must produce zero diagnostics. The types cover every class:
+// live-in must, escape must (return, swap, ctor alias), conditional
+// write, zero-iteration loop, scratch, table, raw region, and idle.
+package ckptgood
+
+// Space is the mini allocator backing the golden kernels.
+type Space struct {
+	next uint64
+}
+
+// Alloc maps a fresh array of n float64s.
+func (s *Space) Alloc(n int) (*Array, error) {
+	r := &Region{start: s.next}
+	s.next += uint64(8 * n)
+	return &Array{buf: make([]float64, n), reg: r}, nil
+}
+
+// Raw maps a bare region with no array view over it.
+func (s *Space) Raw(n int) (*Region, error) {
+	r := &Region{start: s.next}
+	s.next += uint64(n)
+	return r, nil
+}
+
+// Region is the raw mapping: structurally a protection region.
+type Region struct {
+	start uint64
+}
+
+func (r *Region) Start() uint64 { return r.start }
+func (r *Region) ProtectAll()   {}
+
+// Array is the mini kernel array: structurally an array type, so its
+// own fields sit below the abstraction boundary and are not roles.
+type Array struct {
+	buf []float64
+	reg *Region
+}
+
+func (a *Array) Write(v []float64, off int) error {
+	copy(a.buf[off:], v)
+	return nil
+}
+
+func (a *Array) Read(v []float64, off int) error {
+	copy(v, a.buf[off:])
+	return nil
+}
+
+func (a *Array) At(i int) (float64, error) { return a.buf[i], nil }
+
+func (a *Array) Checksum() (float64, error) {
+	var sum float64
+	for _, v := range a.buf {
+		sum += v
+	}
+	return sum, nil
+}
+
+func (a *Array) Len() int        { return len(a.buf) }
+func (a *Array) Region() *Region { return a.reg }
+func (a *Array) Free() error     { return nil }

@@ -1,0 +1,131 @@
+package ckptgood
+
+// Solver exercises the core lattice: a live-in grid, a scratch buffer,
+// a recomputable table, a raw region, and an idle ctor-only array.
+type Solver struct {
+	n    int
+	grid *Array  // must: read before written in Step
+	work *Array  // recomputable: staged before any read, every step
+	tab  *Array  // recomputable: derived by fill, a hook-shaped method
+	raw  *Region // unknown: raw writes bypass the array API
+	idle *Array  // unknown: only the constructor touches it
+}
+
+// NewSolver is the constructor: its accesses initialise, they do not
+// affect liveness.
+func NewSolver(sp *Space, n int) (*Solver, error) {
+	grid, err := sp.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	work, err := sp.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sp.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := sp.Raw(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	idle, err := sp.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	seed := make([]float64, n)
+	if err := grid.Write(seed, 0); err != nil { // ctor write: not a step
+		return nil, err
+	}
+	if err := idle.Write(seed, 0); err != nil {
+		return nil, err
+	}
+	s := &Solver{n: n, grid: grid, work: work, tab: tab, raw: raw, idle: idle}
+	if err := s.fill(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// fill derives the table from nothing: hook-shaped (no params, error
+// result), writes tab alone, reads no role — a recompute hook.
+func (s *Solver) fill() error {
+	t := make([]float64, s.n)
+	for i := range t {
+		t[i] = float64(i) * 0.5
+	}
+	return s.tab.Write(t, 0)
+}
+
+// Step reads the grid and table, stages through work, writes back.
+func (s *Solver) Step() error {
+	in := make([]float64, s.n)
+	if err := s.grid.Read(in, 0); err != nil { // live-in: read before write
+		return err
+	}
+	t := make([]float64, s.n)
+	if err := s.tab.Read(t, 0); err != nil { // live-in, but fill covers it
+		return err
+	}
+	for i := range in {
+		in[i] += t[i]
+	}
+	if err := s.work.Write(in, 0); err != nil { // scratch: write then read
+		return err
+	}
+	if err := s.work.Read(in, 0); err != nil {
+		return err
+	}
+	return s.grid.Write(in, 0)
+}
+
+// Cond shows that a conditional write covers nothing: the read below
+// the if may observe the previous step's contents.
+type Cond struct {
+	buf *Array // must: the guarded write may not run
+}
+
+func NewCond(sp *Space) (*Cond, error) {
+	buf, err := sp.Alloc(4)
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{buf: buf}, nil
+}
+
+func (c *Cond) Step(flag bool) error {
+	v := make([]float64, 4)
+	if flag {
+		if err := c.buf.Write(v, 0); err != nil {
+			return err
+		}
+	}
+	return c.buf.Read(v, 0)
+}
+
+// Alias would be pure scratch, but its constructor aliases the array
+// into a slice the analysis cannot follow: must.
+type Alias struct {
+	s *Array // must: aliased in the constructor
+}
+
+func NewAlias(sp *Space) (*Alias, error) {
+	s, err := sp.Alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	all := []*Array{s} // escapes: aliased beyond the binding
+	if len(all) != 1 {
+		return nil, err
+	}
+	return &Alias{s: s}, nil
+}
+
+func (a *Alias) Step() error {
+	v := make([]float64, 8)
+	if err := a.s.Write(v, 0); err != nil {
+		return err
+	}
+	return a.s.Read(v, 0)
+}

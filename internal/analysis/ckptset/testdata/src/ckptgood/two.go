@@ -1,0 +1,55 @@
+package ckptgood
+
+// This file holds Ping's methods and the Loop kernel so the analyzer
+// is exercised across a multi-file package: the type and constructor
+// live in kernels-style file one, the accesses here.
+
+// Ping is a double buffer; both halves escape.
+type Ping struct {
+	a *Array // must: returned by Cur
+	b *Array // must: swapped through Flip
+}
+
+func NewPing(sp *Space) (*Ping, error) {
+	a, err := sp.Alloc(16)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sp.Alloc(16)
+	if err != nil {
+		return nil, err
+	}
+	return &Ping{a: a, b: b}, nil
+}
+
+// Cur hands the buffer to the caller: escape.
+func (p *Ping) Cur() *Array { return p.a }
+
+// Flip re-points both role fields: escape for a and b alike.
+func (p *Ping) Flip() {
+	p.a, p.b = p.b, p.a
+}
+
+// Loop writes only inside a loop that may run zero times, then reads:
+// the write covers nothing, so the buffer is live-in.
+type Loop struct {
+	v *Array // must: loop body writes do not persist
+}
+
+func NewLoop(sp *Space) (*Loop, error) {
+	v, err := sp.Alloc(2)
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{v: v}, nil
+}
+
+func (l *Loop) Step(n int) error {
+	buf := make([]float64, 1)
+	for i := 0; i < n; i++ {
+		if err := l.v.Write(buf, 0); err != nil {
+			return err
+		}
+	}
+	return l.v.Read(buf, 0)
+}

@@ -1,0 +1,25 @@
+// Package ckptmissing declares a protection role but commits no spec
+// file: the analyzer demands one.
+package ckptmissing // want `package declares 1 protection regions but has no ckptmissing\.ckptspec`
+
+import "golden.test/ckptgood"
+
+type K struct {
+	g *ckptgood.Array
+}
+
+func NewK(sp *ckptgood.Space) (*K, error) {
+	g, err := sp.Alloc(4)
+	if err != nil {
+		return nil, err
+	}
+	return &K{g: g}, nil
+}
+
+func (k *K) Step() error {
+	v := make([]float64, 4)
+	if err := k.g.Read(v, 0); err != nil {
+		return err
+	}
+	return k.g.Write(v, 0)
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -15,9 +17,15 @@ const IgnoreCategory = "lint"
 // line directly below it (so it can trail the offending statement or
 // sit on the line above, staticcheck-style).
 type ignoreDirective struct {
-	file   string
-	line   int
-	checks []string
+	file     string
+	line     int
+	pos      token.Pos
+	position token.Position
+	checks   []string
+	// used records, per named check, whether the directive suppressed
+	// at least one diagnostic in this run — the unused-suppression
+	// check reports the ones that did nothing.
+	used map[string]bool
 }
 
 // RunPackage runs each analyzer over pkg, applies //lint:ignore
@@ -53,6 +61,28 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = kept
+	// Stale-suppression findings: a directive naming a check that ran
+	// in this very analyzer set yet suppressed nothing is dead weight
+	// that would hide a future diagnostic at that line unreviewed.
+	// Checks outside this run's set are not flagged — per-package
+	// analyzer subsets and single-analyzer golden runs would otherwise
+	// produce false positives.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, dir := range directives {
+		for _, c := range dir.checks {
+			if ran[c] && !dir.used[c] {
+				diags = append(diags, Diagnostic{
+					Pos:      dir.pos,
+					Category: IgnoreCategory,
+					Message:  fmt.Sprintf("unused //lint:ignore: check %q reports nothing here", c),
+					Position: dir.position,
+				})
+			}
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -106,9 +136,12 @@ func collectIgnores(pkg *Package) ([]ignoreDirective, []Diagnostic) {
 					continue
 				}
 				dirs = append(dirs, ignoreDirective{
-					file:   pos.Filename,
-					line:   pos.Line,
-					checks: strings.Split(fields[0], ","),
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      c.Pos(),
+					position: pos,
+					checks:   strings.Split(fields[0], ","),
+					used:     make(map[string]bool),
 				})
 			}
 		}
@@ -129,6 +162,7 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 		}
 		for _, c := range dir.checks {
 			if c == d.Category {
+				dir.used[c] = true
 				return true
 			}
 		}

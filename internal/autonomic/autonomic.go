@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/ckpt"
+	"repro/internal/ckptspec"
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/kernels"
@@ -164,6 +165,20 @@ type Config struct {
 	// checkpointing (measure the silent under-count) or the drain
 	// protocol (close it). See RDMAOptions.
 	RDMA *RDMAOptions
+	// Spec, when non-nil, applies a protection-region spec to every
+	// rank's checkpointer: regions the ckptset analyzer classified as
+	// recomputable are excluded from protection and capture (the
+	// restore recreates them zero-filled), and their recompute hooks
+	// run on every re-attach before the team resumes. The workload
+	// must implement SpecBound to participate; others run unchanged.
+	Spec *ckptspec.Spec
+}
+
+// SpecBound is the optional Computation extension that ties a rank's
+// live arenas to protection-spec names. kernels' Dist* types and the
+// solo adapter implement it.
+type SpecBound interface {
+	ProtectionBindings(rank int) []ckptspec.Binding
 }
 
 func (c Config) withDefaults() Config {
@@ -501,6 +516,23 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 			return nil, err
 		}
 		c.Exclude(world.BounceRegion(i))
+		if cfg.Spec != nil {
+			if sb, ok := d.(SpecBound); ok {
+				excluded := c.ApplySpec(cfg.Spec, sb.ProtectionBindings(i))
+				if !fresh {
+					// The restore recreated excluded arenas zero-filled;
+					// rebuild derivable contents before iterating resumes.
+					for _, b := range excluded {
+						if b.Recompute == nil {
+							continue
+						}
+						if err := b.Recompute(); err != nil {
+							return nil, fmt.Errorf("autonomic: recompute %s: %w", b.Name, err)
+						}
+					}
+				}
+			}
+		}
 		c.Start()
 		t.cps = append(t.cps, c)
 	}

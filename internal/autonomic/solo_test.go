@@ -1,0 +1,138 @@
+package autonomic
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/des"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+func stencilSolo() SoloFactory {
+	return SoloFactory{
+		ComputeTime: 50 * des.Millisecond,
+		Build: func(sp *mem.AddressSpace) (SoloKernel, error) {
+			return kernels.NewStencil2D(sp, 16, 16, 1.0)
+		},
+		Rebind: func(sp *mem.AddressSpace, iter int) (SoloKernel, error) {
+			return kernels.AttachStencil2D(sp, 16, 16, iter)
+		},
+	}
+}
+
+func fftSolo(n int) SoloFactory {
+	return SoloFactory{
+		ComputeTime: 50 * des.Millisecond,
+		Build: func(sp *mem.AddressSpace) (SoloKernel, error) {
+			f, err := kernels.NewFFT(sp, n)
+			if err != nil {
+				return nil, err
+			}
+			sig := make([]complex128, n)
+			for i := range sig {
+				sig[i] = complex(float64(i%17)-8, float64(i%5))
+			}
+			if err := f.Load(sig); err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
+		Rebind: func(sp *mem.AddressSpace, iter int) (SoloKernel, error) {
+			return kernels.AttachFFT(sp, n, iter)
+		},
+	}
+}
+
+// TestSoloRunsUnderSupervision adapts a single-space kernel to the
+// supervisor: a failure-free run completes all iterations and gathers
+// a solution.
+func TestSoloRunsUnderSupervision(t *testing.T) {
+	rep, err := Run(Config{
+		Workload:    stencilSolo(),
+		Ranks:       1,
+		Iterations:  6,
+		CkptEvery:   2,
+		ComputeTime: 50 * des.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Iterations != 6 {
+		t.Fatalf("run: completed=%v iters=%d", rep.Completed, rep.Iterations)
+	}
+	if rep.Checksum == 0 {
+		t.Error("no solution checksum")
+	}
+}
+
+// TestSoloSpecReplayBitExact is the acceptance check for spec-driven
+// exclusion on the crash path: a solo FFT run with the committed spec
+// applied — twiddle table excluded from every checkpoint, recomputed
+// by hook after restore — survives a mid-run crash and finishes in the
+// bit-identical state of the failure-free reference.
+func TestSoloSpecReplayBitExact(t *testing.T) {
+	spec, err := kernels.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload:    fftSolo(1024), // 10 passes
+		Ranks:       1,
+		Iterations:  10,
+		CkptEvery:   3,
+		ComputeTime: 50 * des.Millisecond,
+		Seed:        11,
+		Spec:        spec,
+	}
+	sched, err := chaos.ParseSchedule("crash at 260ms..270ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ValidateReplay(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Injected.Failures == 0 {
+		t.Fatal("chaos injected no failure; the test exercised nothing")
+	}
+	if !out.BitExact() {
+		t.Errorf("spec-excluded replay diverged: digests=%v checksum=%v",
+			out.DigestsMatch, out.ChecksumMatch)
+	}
+}
+
+// TestSoloSpecMatchesWholeProtection pins that applying the spec does
+// not change the computed solution of an unfailing run — exclusion
+// must be observationally invisible outside checkpoint volume.
+func TestSoloSpecMatchesWholeProtection(t *testing.T) {
+	spec, err := kernels.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Workload:    stencilSolo(),
+		Ranks:       1,
+		Iterations:  6,
+		CkptEvery:   2,
+		ComputeTime: 50 * des.Millisecond,
+		Seed:        3,
+	}
+	whole, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSpec := base
+	withSpec.Spec = spec
+	speced, err := Run(withSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Checksum != speced.Checksum {
+		t.Errorf("checksum changed under spec: %x vs %x", whole.Checksum, speced.Checksum)
+	}
+	if speced.CheckpointVolumeMB >= whole.CheckpointVolumeMB {
+		t.Errorf("spec saved nothing: %.3f MB vs %.3f MB", speced.CheckpointVolumeMB, whole.CheckpointVolumeMB)
+	}
+}

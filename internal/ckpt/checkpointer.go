@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/ckptspec"
 	"repro/internal/des"
 	"repro/internal/mem"
 	"repro/internal/storage"
@@ -112,9 +113,13 @@ type Checkpointer struct {
 
 	dirty    map[*mem.Region]*bitset.Set
 	excluded map[*mem.Region]bool
-	prevF    mem.FaultHandler
-	prevM    mem.MapHook
-	running  bool
+	// dataExcluded regions stay in every segment's region table (a
+	// restore recreates them zero-filled) but are never protected or
+	// captured: their contents are recomputable per a protection spec.
+	dataExcluded map[*mem.Region]bool
+	prevF        mem.FaultHandler
+	prevM        mem.MapHook
+	running      bool
 
 	// Single-entry fault cache, same rationale as the tracker's:
 	// consecutive faults repeat the region, so skip the map lookup.
@@ -150,12 +155,13 @@ func NewCheckpointer(eng *des.Engine, space *mem.AddressSpace, opts Options) (*C
 		return nil, fmt.Errorf("ckpt: compression and dedup need page contents (backed address space)")
 	}
 	c := &Checkpointer{
-		eng:      eng,
-		space:    space,
-		opts:     opts,
-		seq:      opts.StartSeq,
-		dirty:    make(map[*mem.Region]*bitset.Set),
-		excluded: make(map[*mem.Region]bool),
+		eng:          eng,
+		space:        space,
+		opts:         opts,
+		seq:          opts.StartSeq,
+		dirty:        make(map[*mem.Region]*bitset.Set),
+		excluded:     make(map[*mem.Region]bool),
+		dataExcluded: make(map[*mem.Region]bool),
 	}
 	if opts.DedupUnchanged {
 		c.hashes = make(map[uint64]uint64)
@@ -164,11 +170,41 @@ func NewCheckpointer(eng *des.Engine, space *mem.AddressSpace, opts Options) (*C
 }
 
 // Exclude marks a region as never checkpointed (bounce buffers and other
-// transport scratch space). Call before Start.
+// transport scratch space). Call before Start. Excluding a region twice
+// is a no-op, and excluded regions vanish from segment region tables —
+// a restore does not recreate them.
 func (c *Checkpointer) Exclude(r *mem.Region) {
 	if r != nil {
 		c.excluded[r] = true
 	}
+}
+
+// ExcludeData marks a region's *contents* as recomputable: the region
+// stays in every segment's region table, so a restore recreates it at
+// its original address (zero-filled), but its pages are never
+// protected, captured, or counted toward a line. This is the runtime
+// half of a ckptspec Recomputable classification — callers re-derive
+// the contents after a restore (recompute hook) or rely on the kernel
+// fully rewriting them before any read. Call before Start; idempotent.
+func (c *Checkpointer) ExcludeData(r *mem.Region) {
+	if r != nil {
+		c.dataExcluded[r] = true
+	}
+}
+
+// ApplySpec excludes the data of every binding the spec classifies as
+// recomputable and returns those bindings, so the caller can run their
+// recompute hooks after a restore. Bindings absent from the spec stay
+// protected.
+func (c *Checkpointer) ApplySpec(spec *ckptspec.Spec, bindings []ckptspec.Binding) []ckptspec.Binding {
+	if spec == nil {
+		return nil
+	}
+	ex := spec.Recomputable(bindings)
+	for _, b := range ex {
+		c.ExcludeData(b.Region)
+	}
+	return ex
 }
 
 // Start protects all data memory and installs the fault/map hooks,
@@ -222,7 +258,7 @@ func (c *Checkpointer) Rebase(seq uint64) {
 
 func (c *Checkpointer) protectAll() {
 	for _, r := range c.space.Regions() {
-		if r.Kind().Checkpointable() && !c.excluded[r] {
+		if r.Kind().Checkpointable() && !c.excluded[r] && !c.dataExcluded[r] {
 			r.ProtectAll()
 		}
 	}
@@ -261,7 +297,7 @@ func (c *Checkpointer) onFault(f mem.Fault) {
 
 func (c *Checkpointer) onMap(r *mem.Region, mapped bool) {
 	if mapped {
-		if c.running && r.Kind().Checkpointable() && !c.excluded[r] {
+		if c.running && r.Kind().Checkpointable() && !c.excluded[r] && !c.dataExcluded[r] {
 			r.ProtectAll()
 		}
 	} else {
@@ -274,6 +310,7 @@ func (c *Checkpointer) onMap(r *mem.Region, mapped bool) {
 			c.lastFaultR, c.lastFaultRS = nil, nil
 		}
 		delete(c.excluded, r)
+		delete(c.dataExcluded, r)
 		delete(c.drainSet, r)
 	}
 	if c.prevM != nil {
@@ -337,7 +374,7 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 	switch kind {
 	case Full:
 		for _, r := range c.space.Regions() {
-			if !r.Kind().Checkpointable() || c.excluded[r] {
+			if !r.Kind().Checkpointable() || c.excluded[r] || c.dataExcluded[r] {
 				continue
 			}
 			for idx := uint64(0); idx < r.Pages(); idx++ {
@@ -353,7 +390,7 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 		// replays their stale pre-DMA contents. Count them as the
 		// segment's corruption risk.
 		for _, r := range c.space.Regions() {
-			if !r.Kind().Checkpointable() || c.excluded[r] {
+			if !r.Kind().Checkpointable() || c.excluded[r] || c.dataExcluded[r] {
 				continue
 			}
 			silentPages += r.SilentPages()
@@ -361,6 +398,10 @@ func (c *Checkpointer) Checkpoint() (Result, error) {
 		for r, rs := range c.dirty {
 			if r.Dead() {
 				delete(c.dirty, r)
+				continue
+			}
+			if c.dataExcluded[r] {
+				// Dirtied before ExcludeData: drop, never capture.
 				continue
 			}
 			limit := r.Pages()

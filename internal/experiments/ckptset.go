@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autonomic"
+	"repro/internal/chaos"
+	"repro/internal/ckpt"
+	"repro/internal/ckptspec"
+	"repro/internal/des"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/storage"
+	"repro/internal/tracker"
+)
+
+// A19: automatic checkpoint-set identification ablation. The ckptset
+// analyzer classifies every kernel allocation site as must-checkpoint,
+// recomputable, or unknown, and emits the protection-region spec the
+// runtime consumes. This experiment measures what that analysis buys:
+// each kernel runs twice — whole (every arena protected and captured,
+// the paper's whole-data-segment baseline) and spec (recomputable
+// regions excluded from protection and capture, restored by recompute
+// hook) — and reports tracked IWS, full/incremental checkpoint bytes,
+// and the crash-restore-replay bit-exactness verdict for both modes.
+// The spec mode must save bytes AND stay bit-exact: excluding a region
+// the solution actually needs would surface here as exact=no.
+
+// CkptSetRow is one (kernel, mode) cell of A19.
+type CkptSetRow struct {
+	// Kernel names the workload; Mode is "whole" or "spec".
+	Kernel, Mode string
+	// Regions is the kernel's binding count; Excluded how many the
+	// spec dropped from protection (0 in whole mode).
+	Regions, Excluded int
+	// MeanIWSPages is the tracker's mean incremental working set over
+	// the run's timeslices.
+	MeanIWSPages float64
+	// FullKB and IncrKB are captured checkpoint payload by kind;
+	// TotalKB their sum.
+	FullKB, IncrKB, TotalKB float64
+	// BitExact is the crash-restore-replay verdict under a seeded
+	// mid-run crash.
+	BitExact bool
+}
+
+// ckptSetWorkload is one supervised kernel of the A19 sweep.
+type ckptSetWorkload struct {
+	name       string
+	iterations int
+	factory    autonomic.SoloFactory
+}
+
+func ckptSetWorkloads() []ckptSetWorkload {
+	grid := func(build func(sp *mem.AddressSpace) (autonomic.SoloKernel, error),
+		rebind func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error)) autonomic.SoloFactory {
+		return autonomic.SoloFactory{
+			ComputeTime: 50 * des.Millisecond,
+			Build:       build,
+			Rebind:      rebind,
+		}
+	}
+	const n = 64
+	return []ckptSetWorkload{
+		{"stencil", 12, grid(
+			func(sp *mem.AddressSpace) (autonomic.SoloKernel, error) { return kernels.NewStencil2D(sp, n, n, 1) },
+			func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error) {
+				return kernels.AttachStencil2D(sp, n, n, iter)
+			})},
+		{"ssor", 12, grid(
+			func(sp *mem.AddressSpace) (autonomic.SoloKernel, error) { return kernels.NewSSOR(sp, n, n, 1, 1.2) },
+			func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error) {
+				return kernels.AttachSSOR(sp, n, n, 1.2, iter)
+			})},
+		{"wavefront", 12, grid(
+			func(sp *mem.AddressSpace) (autonomic.SoloKernel, error) { return kernels.NewWavefront(sp, n, n, 1) },
+			func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error) {
+				return kernels.AttachWavefront(sp, n, n, iter)
+			})},
+		{"adi", 12, grid(
+			func(sp *mem.AddressSpace) (autonomic.SoloKernel, error) { return kernels.NewADI(sp, n, n, 1, 0.5) },
+			func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error) {
+				return kernels.AttachADI(sp, n, n, 0.5, iter)
+			})},
+		{"fft", 12, grid(
+			func(sp *mem.AddressSpace) (autonomic.SoloKernel, error) {
+				f, err := kernels.NewFFT(sp, 4096)
+				if err != nil {
+					return nil, err
+				}
+				sig := make([]complex128, 4096)
+				for i := range sig {
+					sig[i] = complex(float64(i%31)-15, float64(i%7)-3)
+				}
+				if err := f.Load(sig); err != nil {
+					return nil, err
+				}
+				return f, nil
+			},
+			func(sp *mem.AddressSpace, iter int) (autonomic.SoloKernel, error) {
+				return kernels.AttachFFT(sp, 4096, iter)
+			})},
+	}
+}
+
+// measureIWS runs the kernel under the tracker alone and returns the
+// mean per-timeslice incremental working set in pages.
+func measureIWS(w ckptSetWorkload, spec *ckptspec.Spec) (float64, error) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	k, err := w.factory.Build(sp)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := tracker.New(eng, sp, tracker.Options{Timeslice: des.Second})
+	if err != nil {
+		return 0, err
+	}
+	if spec != nil {
+		tr.ApplySpec(spec, k.ProtectionBindings())
+	}
+	tr.Start()
+	var stepErr error
+	for i := 0; i < w.iterations; i++ {
+		eng.Schedule(des.Time(i)*des.Second+des.Millisecond, func() {
+			if stepErr == nil {
+				stepErr = k.Step()
+			}
+		})
+	}
+	eng.Run(des.Time(w.iterations+1) * des.Second)
+	tr.Stop()
+	if stepErr != nil {
+		return 0, stepErr
+	}
+	ss := tr.Samples()
+	if len(ss) == 0 {
+		return 0, fmt.Errorf("experiments: %s produced no tracker samples", w.name)
+	}
+	var total float64
+	for _, s := range ss {
+		total += float64(s.IWSPages)
+	}
+	return total / float64(len(ss)), nil
+}
+
+// measureVolume runs the kernel under the checkpointer alone — a line
+// after every third step, a full every fourth line — and returns the
+// captured payload by kind plus the binding/exclusion counts.
+func measureVolume(w ckptSetWorkload, spec *ckptspec.Spec) (fullKB, incrKB float64, regions, excluded int, err error) {
+	eng := des.NewEngine()
+	sp := mem.NewAddressSpace(mem.Config{PageSize: 4096})
+	k, err := w.factory.Build(sp)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	cp, err := ckpt.NewCheckpointer(eng, sp, ckpt.Options{Store: storage.NewMemStore(), FullEvery: 4})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	bindings := k.ProtectionBindings()
+	regions = len(bindings)
+	if spec != nil {
+		excluded = len(cp.ApplySpec(spec, bindings))
+	}
+	cp.Start()
+	var runErr error
+	var fullPages, incrPages uint64
+	for i := 0; i < w.iterations; i++ {
+		step := i
+		eng.Schedule(des.Time(step)*des.Second+des.Millisecond, func() {
+			if runErr != nil {
+				return
+			}
+			if runErr = k.Step(); runErr != nil {
+				return
+			}
+			if (step+1)%3 != 0 {
+				return
+			}
+			res, cerr := cp.Checkpoint()
+			if cerr != nil {
+				runErr = cerr
+				return
+			}
+			if res.Kind == ckpt.Full {
+				fullPages += res.Pages
+			} else {
+				incrPages += res.Pages
+			}
+		})
+	}
+	eng.Run(des.Time(w.iterations+1) * des.Second)
+	cp.Stop()
+	if runErr != nil {
+		return 0, 0, 0, 0, runErr
+	}
+	const pageKB = 4096.0 / 1024
+	return float64(fullPages) * pageKB, float64(incrPages) * pageKB, regions, excluded, nil
+}
+
+// CkptSetAblation runs every kernel in whole and spec mode and returns
+// one row per cell.
+func CkptSetAblation() ([]CkptSetRow, error) {
+	spec, err := kernels.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: kernels spec: %w", err)
+	}
+	crash, err := chaos.ParseSchedule("crash at 400ms..410ms")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ckptset crash schedule: %w", err)
+	}
+	var rows []CkptSetRow
+	for _, w := range ckptSetWorkloads() {
+		for _, mode := range []string{"whole", "spec"} {
+			var s *ckptspec.Spec
+			if mode == "spec" {
+				s = spec
+			}
+			iws, err := measureIWS(w, s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ckptset %s/%s iws: %w", w.name, mode, err)
+			}
+			fullKB, incrKB, regions, excluded, err := measureVolume(w, s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ckptset %s/%s volume: %w", w.name, mode, err)
+			}
+			cfg := autonomic.Config{
+				Workload:    w.factory,
+				Ranks:       1,
+				Iterations:  w.iterations,
+				CkptEvery:   3,
+				ComputeTime: 50 * des.Millisecond,
+				Seed:        11,
+				Spec:        s,
+			}
+			out, err := autonomic.ValidateReplayStore(cfg, crash,
+				func(_ *des.Engine, _ *chaos.Driver) storage.Store { return storage.NewMemStore() })
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ckptset %s/%s replay: %w", w.name, mode, err)
+			}
+			rows = append(rows, CkptSetRow{
+				Kernel:       w.name,
+				Mode:         mode,
+				Regions:      regions,
+				Excluded:     excluded,
+				MeanIWSPages: iws,
+				FullKB:       fullKB,
+				IncrKB:       incrKB,
+				TotalKB:      fullKB + incrKB,
+				BitExact:     out.BitExact(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCkptSet renders the A19 rows as a text table with per-kernel
+// savings lines.
+func FormatCkptSet(rows []CkptSetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-5s %7s %8s %8s %8s %8s %8s %6s\n",
+		"kernel", "mode", "regions", "excluded", "iws-pg", "fullKB", "incrKB", "totalKB", "exact")
+	byKernel := make(map[string][2]float64)
+	var order []string
+	for _, r := range rows {
+		exact := "no"
+		if r.BitExact {
+			exact = "yes"
+		}
+		fmt.Fprintf(&b, "%-10s %-5s %7d %8d %8.1f %8.1f %8.1f %8.1f %6s\n",
+			r.Kernel, r.Mode, r.Regions, r.Excluded, r.MeanIWSPages,
+			r.FullKB, r.IncrKB, r.TotalKB, exact)
+		v := byKernel[r.Kernel]
+		if r.Mode == "whole" {
+			order = append(order, r.Kernel)
+			v[0] = r.TotalKB
+		} else {
+			v[1] = r.TotalKB
+		}
+		byKernel[r.Kernel] = v
+	}
+	b.WriteString("\nsavings (spec vs whole):")
+	for _, k := range order {
+		v := byKernel[k]
+		if v[0] > 0 {
+			fmt.Fprintf(&b, " %s=%.1f%%", k, 100*(v[0]-v[1])/v[0])
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCkptSetAblation is A19's acceptance gate: analysis-selected
+// protection must checkpoint strictly fewer bytes than whole-data
+// protection on at least two kernels, and every cell — both modes, all
+// kernels — must replay bit-exact through a mid-run crash.
+func TestCkptSetAblation(t *testing.T) {
+	rows, err := CkptSetAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 kernels x 2 modes)", len(rows))
+	}
+	whole := map[string]CkptSetRow{}
+	spec := map[string]CkptSetRow{}
+	for _, r := range rows {
+		if !r.BitExact {
+			t.Errorf("%s/%s replay is not bit-exact", r.Kernel, r.Mode)
+		}
+		switch r.Mode {
+		case "whole":
+			whole[r.Kernel] = r
+		case "spec":
+			spec[r.Kernel] = r
+		default:
+			t.Errorf("unknown mode %q", r.Mode)
+		}
+	}
+	saved := 0
+	for k, w := range whole {
+		s, ok := spec[k]
+		if !ok {
+			t.Fatalf("no spec row for %s", k)
+		}
+		if w.TotalKB <= 0 {
+			t.Errorf("%s: whole mode captured nothing", k)
+		}
+		if s.TotalKB > w.TotalKB {
+			t.Errorf("%s: spec mode captured MORE (%.1f KB > %.1f KB)", k, s.TotalKB, w.TotalKB)
+		}
+		if s.TotalKB < w.TotalKB {
+			saved++
+		}
+		if w.Excluded != 0 {
+			t.Errorf("%s: whole mode excluded %d regions", k, w.Excluded)
+		}
+		if s.Excluded == 0 {
+			t.Errorf("%s: spec mode excluded nothing", k)
+		}
+		if s.MeanIWSPages > w.MeanIWSPages {
+			t.Errorf("%s: spec IWS grew (%.1f > %.1f pages)", k, s.MeanIWSPages, w.MeanIWSPages)
+		}
+	}
+	if saved < 2 {
+		t.Errorf("spec saved bytes on %d kernels, want >= 2", saved)
+	}
+	out := FormatCkptSet(rows)
+	for _, want := range []string{"kernel", "stencil", "fft", "savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatCkptSet missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -37,6 +37,51 @@ func attachSingleGrid(space *mem.AddressSpace, elems int) (*Array, error) {
 	return AttachArray(space, regs[0].Start(), elems)
 }
 
+// arenaLayout rebinds a kernel's full arena layout: one element count
+// per arena, in the order the New constructor allocates them. Mmap
+// bump-allocates monotonically and kernels never unmap, so address
+// order equals allocation order, and a restore (ckpt.Restore → MapAt)
+// recreates every region at its original address — including regions a
+// protection spec excluded from capture, which come back zero-filled
+// but still present. Candidate regions are those whose (page-rounded)
+// size matches any layout slot; the count must match exactly, and each
+// region in address order must fit its slot's size bucket.
+func arenaLayout(space *mem.AddressSpace, elems ...int) ([]*Array, error) {
+	fits := func(r *mem.Region, n int) bool {
+		want := uint64(n) * 8
+		return r.Size() >= want && r.Size() < want+space.PageSize()
+	}
+	var cands []*mem.Region
+	for _, r := range space.Regions() {
+		if r.Kind() != mem.Mmap {
+			continue
+		}
+		for _, n := range elems {
+			if fits(r, n) {
+				cands = append(cands, r)
+				break
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Start() < cands[j].Start() })
+	if len(cands) != len(elems) {
+		return nil, fmt.Errorf("kernels: found %d candidate arenas, want %d", len(cands), len(elems))
+	}
+	out := make([]*Array, len(elems))
+	for i, n := range elems {
+		if !fits(cands[i], n) {
+			return nil, fmt.Errorf("kernels: arena %d at %#x holds %d bytes, want %d elems",
+				i, cands[i].Start(), cands[i].Size(), n)
+		}
+		a, err := AttachArray(space, cands[i].Start(), n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
 // AttachSSOR rebuilds an SSOR handle over a restored space. omega must
 // match the original; iter is the completed-iteration count at the
 // checkpoint.
@@ -44,11 +89,11 @@ func AttachSSOR(space *mem.AddressSpace, nx, ny int, omega float64, iter int) (*
 	if nx < 3 || ny < 3 || omega <= 0 || omega >= 2 || iter < 0 {
 		return nil, fmt.Errorf("kernels: bad SSOR attach parameters")
 	}
-	u, err := attachSingleGrid(space, nx*ny)
+	bufs, err := arenaLayout(space, nx*ny, nx)
 	if err != nil {
 		return nil, err
 	}
-	return &SSOR{nx: nx, ny: ny, u: u, omega: omega, iter: iter}, nil
+	return &SSOR{nx: nx, ny: ny, u: bufs[0], work: bufs[1], omega: omega, iter: iter}, nil
 }
 
 // AttachWavefront rebuilds a Wavefront handle over a restored space.
@@ -56,11 +101,11 @@ func AttachWavefront(space *mem.AddressSpace, nx, ny, iter int) (*Wavefront, err
 	if nx < 2 || ny < 2 || iter < 0 {
 		return nil, fmt.Errorf("kernels: bad wavefront attach parameters")
 	}
-	v, err := attachSingleGrid(space, nx*ny)
+	bufs, err := arenaLayout(space, nx*ny, nx)
 	if err != nil {
 		return nil, err
 	}
-	return &Wavefront{nx: nx, ny: ny, v: v, iter: iter}, nil
+	return &Wavefront{nx: nx, ny: ny, v: bufs[0], work: bufs[1], iter: iter}, nil
 }
 
 // AttachADI rebuilds an ADI handle over a restored space. lambda must
@@ -69,11 +114,11 @@ func AttachADI(space *mem.AddressSpace, nx, ny int, lambda float64, iter int) (*
 	if nx < 3 || ny < 3 || lambda <= 0 || iter < 0 {
 		return nil, fmt.Errorf("kernels: bad ADI attach parameters")
 	}
-	u, err := attachSingleGrid(space, nx*ny)
+	bufs, err := arenaLayout(space, nx*ny, nx+ny)
 	if err != nil {
 		return nil, err
 	}
-	return &ADI{nx: nx, ny: ny, u: u, lambda: lambda, iter: iter}, nil
+	return &ADI{nx: nx, ny: ny, u: bufs[0], work: bufs[1], lambda: lambda, iter: iter}, nil
 }
 
 // AttachFFT rebuilds an FFT handle over a restored space; pass is the
@@ -83,17 +128,9 @@ func AttachFFT(space *mem.AddressSpace, n, pass int) (*FFT, error) {
 	if n < 2 || n&(n-1) != 0 || pass < 0 {
 		return nil, fmt.Errorf("kernels: bad FFT attach parameters")
 	}
-	regs := gridRegions(space, 2*n)
-	if len(regs) != 2 {
-		return nil, fmt.Errorf("kernels: found %d candidate FFT buffers, want 2", len(regs))
-	}
-	x, err := AttachArray(space, regs[0].Start(), 2*n)
+	bufs, err := arenaLayout(space, 2*n, 2*n, n)
 	if err != nil {
 		return nil, err
 	}
-	y, err := AttachArray(space, regs[1].Start(), 2*n)
-	if err != nil {
-		return nil, err
-	}
-	return &FFT{n: n, x: x, y: y, pass: pass}, nil
+	return &FFT{n: n, x: bufs[0], y: bufs[1], tw: bufs[2], pass: pass}, nil
 }

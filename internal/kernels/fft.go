@@ -16,6 +16,7 @@ import (
 type FFT struct {
 	n    int
 	x, y *Array // interleaved re/im pairs: 2n float64 each
+	tw   *Array // twiddle table: exp(-iπ m/(n/2)) for m in [0, n/2), re/im interleaved
 	pass int    // completed butterfly passes (for mid-transform ckpt tests)
 }
 
@@ -33,7 +34,31 @@ func NewFFT(space *mem.AddressSpace, n int) (*FFT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FFT{n: n, x: x, y: y}, nil
+	tw, err := NewArray(space, n)
+	if err != nil {
+		return nil, err
+	}
+	f := &FFT{n: n, x: x, y: y, tw: tw}
+	if err := f.fillTwiddles(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// fillTwiddles (re)derives the twiddle table from the transform size
+// alone: T[m] = exp(-iπ m/(n/2)). It is a pure function of n, so it
+// doubles as the restore-time recompute hook when the table is dropped
+// from checkpoint lines — a restored, zero-filled table arena is
+// rebuilt bit-identically.
+func (f *FFT) fillTwiddles() error {
+	half := f.n / 2
+	buf := make([]float64, 2*half)
+	for m := 0; m < half; m++ {
+		w := cmplx.Exp(complex(0, -math.Pi*float64(m)/float64(half)))
+		buf[2*m] = real(w)
+		buf[2*m+1] = imag(w)
+	}
+	return f.tw.Write(buf, 0)
 }
 
 // N returns the transform size.
@@ -61,12 +86,18 @@ func (f *FFT) cur() (*Array, *Array) {
 	return f.y, f.x
 }
 
+// log2 returns log2(n) for a power-of-two n.
+func log2(n int) int {
+	p := 0
+	for 1<<p < n {
+		p++
+	}
+	return p
+}
+
 // Transform runs the full forward FFT and returns the spectrum.
 func (f *FFT) Transform() ([]complex128, error) {
-	passes := 0
-	for 1<<passes < f.n {
-		passes++
-	}
+	passes := log2(f.n)
 	for p := 0; p < passes; p++ {
 		if err := f.Pass(); err != nil {
 			return nil, err
@@ -82,14 +113,27 @@ func (f *FFT) Pass() error {
 	src, dst := f.cur()
 	n := f.n
 	l := 1 << f.pass // current butterfly span
+	half := n / 2
+	if l > half {
+		return fmt.Errorf("kernels: FFT pass %d beyond the %d passes of a %d-point transform", f.pass, log2(n), n)
+	}
 	in := make([]float64, 2*n)
 	out := make([]float64, 2*n)
 	if err := src.Read(in, 0); err != nil {
 		return err
 	}
-	half := n / 2
+	// The per-group twiddle exp(-iπ j/l) is table entry m = j·(half/l):
+	// half/l is a power of two, and scaling by a power of two commutes
+	// exactly with float64 rounding, so -π·m/half and -π·j/l round to
+	// the same value and the looked-up twiddles are bit-identical to
+	// the previously inlined cmplx.Exp.
+	twid := make([]float64, 2*half)
+	if err := f.tw.Read(twid, 0); err != nil {
+		return err
+	}
 	for j := 0; j < l; j++ {
-		w := cmplx.Exp(complex(0, -math.Pi*float64(j)/float64(l)))
+		m := j * (half / l)
+		w := complex(twid[2*m], twid[2*m+1])
 		for k := j; k < half; k += l {
 			aRe, aIm := in[2*k], in[2*k+1]
 			bRe, bIm := in[2*(k+half)], in[2*(k+half)+1]

@@ -1,0 +1,61 @@
+package kernels
+
+// Values accessors give every single-space kernel a uniform way to
+// export its full solution state for verification, and — together with
+// Step/Iter/ProtectionBindings — the face the autonomic SoloFactory
+// adapter supervises. FFT additionally aliases Pass as Step so the
+// butterfly passes count as iterations.
+
+// Values returns the current solution buffer's contents.
+func (s *Stencil2D) Values() ([]float64, error) {
+	out := make([]float64, s.nx*s.ny)
+	if err := s.Cur().Read(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Values returns the grid contents.
+func (s *SSOR) Values() ([]float64, error) {
+	out := make([]float64, s.nx*s.ny)
+	if err := s.u.Read(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Values returns the grid contents.
+func (w *Wavefront) Values() ([]float64, error) {
+	out := make([]float64, w.nx*w.ny)
+	if err := w.v.Read(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Values returns the grid contents.
+func (a *ADI) Values() ([]float64, error) {
+	out := make([]float64, a.nx*a.ny)
+	if err := a.u.Read(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Step performs one butterfly pass, so the transform's log2(n) passes
+// supervise like iterations.
+func (f *FFT) Step() error { return f.Pass() }
+
+// Iter returns completed butterfly passes.
+func (f *FFT) Iter() int { return f.pass }
+
+// Values returns the raw interleaved re/im contents of the buffer
+// holding the latest pass.
+func (f *FFT) Values() ([]float64, error) {
+	src, _ := f.cur()
+	out := make([]float64, 2*f.n)
+	if err := src.Read(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

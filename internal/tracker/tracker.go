@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/ckptspec"
 	"repro/internal/des"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -174,6 +175,23 @@ func (t *Tracker) Exclude(r *mem.Region) {
 	if r != nil {
 		t.excluded[r] = true
 	}
+}
+
+// ApplySpec excludes every binding the spec classifies as recomputable
+// — the regions the ckptset analysis proved are never read across an
+// iteration boundary — and returns those bindings. The measured IWS
+// then covers only the must-checkpoint set. Bindings absent from the
+// spec stay protected; re-applying a spec is idempotent (Exclude of an
+// already-excluded region is a no-op).
+func (t *Tracker) ApplySpec(spec *ckptspec.Spec, bindings []ckptspec.Binding) []ckptspec.Binding {
+	if spec == nil {
+		return nil
+	}
+	ex := spec.Recomputable(bindings)
+	for _, b := range ex {
+		t.Exclude(b.Region)
+	}
+	return ex
 }
 
 // AttachRank subscribes the tracker to an MPI rank's payload deliveries
