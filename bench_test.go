@@ -81,6 +81,22 @@ func BenchmarkFig1(b *testing.B) {
 	}
 }
 
+// BenchmarkFig1Shards8 regenerates Figure 1 on an 8-shard parallel
+// engine — the paired row for BenchmarkFig1. Virtual-time output is
+// bit-identical to the sequential benchmark; only host wall-clock
+// differs, and cmd/benchjson derives speedup_vs_seq from the pair.
+func BenchmarkFig1Shards8(b *testing.B) {
+	opts := benchOpts()
+	opts.Shards = 8
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DetectedPeriodS, "detected_period_s")
+	}
+}
+
 // benchFigTimeslices is a 5-point subset of the paper's 1-20 s sweep,
 // keeping multi-panel figure benches affordable.
 func benchFigTimeslices() []des.Time {
@@ -212,6 +228,20 @@ func BenchmarkRankSymmetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RankSymmetry(
 			workload.SP(), experiments.RunOpts{Ranks: min(benchRanks(), 16), Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxSpread*100, "max_rank_spread_pct")
+	}
+}
+
+// BenchmarkRankSymmetryShards8 is BenchmarkRankSymmetry on an 8-shard
+// parallel engine: every rank carries a tracker, so this is the
+// most instrument-heavy sharded benchmark in the suite.
+func BenchmarkRankSymmetryShards8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RankSymmetry(
+			workload.SP(), experiments.RunOpts{Ranks: min(benchRanks(), 16), Seed: 7, Shards: 8})
 		if err != nil {
 			b.Fatal(err)
 		}

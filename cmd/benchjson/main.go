@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +28,33 @@ type Record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsSeq is set on BenchmarkXxxShardsN records whose sequential
+	// pair BenchmarkXxx appears in the same input: sequential ns/op over
+	// this record's ns/op.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
+}
+
+// shardsRe matches the shard-count segment of a paired sharded
+// benchmark name, e.g. the "Shards8" in "BenchmarkFig1Shards8-4".
+var shardsRe = regexp.MustCompile(`Shards\d+`)
+
+// annotateSpeedups fills SpeedupVsSeq on every sharded record whose
+// sequential pair (the same name with the ShardsN segment removed) is
+// present.
+func annotateSpeedups(recs []Record) {
+	byName := make(map[string]float64, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r.NsPerOp
+	}
+	for i := range recs {
+		r := &recs[i]
+		if !shardsRe.MatchString(r.Name) || r.NsPerOp == 0 {
+			continue
+		}
+		if seq, ok := byName[shardsRe.ReplaceAllString(r.Name, "")]; ok {
+			r.SpeedupVsSeq = seq / r.NsPerOp
+		}
+	}
 }
 
 func parseLine(line string) (Record, bool) {
@@ -79,6 +107,7 @@ func main() {
 		os.Exit(1)
 	}
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	annotateSpeedups(recs)
 	out, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -41,3 +41,21 @@ func TestParseLine(t *testing.T) {
 		}
 	}
 }
+
+func TestAnnotateSpeedups(t *testing.T) {
+	recs := []Record{
+		{Name: "BenchmarkFig1-4", NsPerOp: 300},
+		{Name: "BenchmarkFig1Shards8-4", NsPerOp: 100},
+		{Name: "BenchmarkOrphanShards2-4", NsPerOp: 50}, // no sequential pair
+		{Name: "BenchmarkTable2-4", NsPerOp: 200},       // no sharded pair
+	}
+	annotateSpeedups(recs)
+	if got := recs[1].SpeedupVsSeq; got != 3 {
+		t.Errorf("Fig1Shards8 speedup = %v, want 3", got)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if recs[i].SpeedupVsSeq != 0 {
+			t.Errorf("%s speedup = %v, want 0 (unset)", recs[i].Name, recs[i].SpeedupVsSeq)
+		}
+	}
+}

@@ -18,9 +18,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, ckptset, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, ckptset, scaling, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	shards := flag.Int("shards", 0, "parallel event shards (0 = sequential engine; figure data is identical either way)")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	defer stopProf()
 
-	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed}
+	opts := experiments.RunOpts{Ranks: *ranks, Seed: *seed, Shards: *shards}
 	fail := func(err error) {
 		stopProf()
 		fmt.Fprintln(os.Stderr, "figures:", err)
@@ -212,6 +213,19 @@ func main() {
 		}
 		fmt.Println("Ablation: analysis-selected vs whole-data-segment protection (A19), 5 kernels, seeded mid-run crash")
 		fmt.Print(experiments.FormatCkptSet(rows))
+		fmt.Println()
+	}
+	// Excluded from "all": wall-clock numbers are host-dependent, unlike
+	// every other figure, which is deterministic virtual-time data.
+	if *fig == "scaling" || *fig == "a20" {
+		rows, err := experiments.ScalingTable(
+			[]workload.Spec{workload.Sage1000MB(), workload.Sweep3D()},
+			opts, []int{0, 1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Scaling: wall-clock of the measured reference run by engine topology (A20)")
+		fmt.Print(experiments.FormatScaling(rows))
 		fmt.Println()
 	}
 	if *fig == "trends" || *fig == "all" {

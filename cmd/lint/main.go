@@ -1,13 +1,15 @@
 // Command lint is the repo's determinism-contract multichecker. It
 // loads every matched package with the stdlib-only analysis framework
-// and runs five project-specific analyzers:
+// and runs six project-specific analyzers:
 //
-//	detlint    no wall-clock time or ambient entropy in internal/ and cmd/
-//	maporder   no map-iteration order leaking into slices, writers, channels
-//	errwrap    sentinel errors compared with errors.Is and wrapped with %w
-//	seedplumb  exported internal/ functions take seeds, never bake them in
-//	ckptset    committed .ckptspec protection specs match the classification
-//	           computed from kernel source
+//	detlint     no wall-clock time or ambient entropy in internal/ and cmd/
+//	maporder    no map-iteration order leaking into slices, writers, channels
+//	shardorder  no Engine scheduling calls inside map iteration — event
+//	            interleaving must not follow map order
+//	errwrap     sentinel errors compared with errors.Is and wrapped with %w
+//	seedplumb   exported internal/ functions take seeds, never bake them in
+//	ckptset     committed .ckptspec protection specs match the classification
+//	            computed from kernel source
 //
 // Usage:
 //
@@ -41,6 +43,7 @@ import (
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/seedplumb"
+	"repro/internal/analysis/shardorder"
 )
 
 // checkers binds each analyzer to the slice of the module it governs.
@@ -55,6 +58,7 @@ var checkers = []struct {
 }{
 	{detlint.Analyzer, inInternalOrCmd},
 	{maporder.Analyzer, func(string) bool { return true }},
+	{shardorder.Analyzer, func(string) bool { return true }},
 	{errwrap.Analyzer, inInternalOrCmd},
 	{seedplumb.Analyzer, func(rel string) bool { return strings.HasPrefix(rel, "internal/") }},
 	{ckptset.Analyzer, inInternalOrCmd},

@@ -1,0 +1,12 @@
+package shardorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardorder"
+)
+
+func TestShardorder(t *testing.T) {
+	analysistest.Run(t, shardorder.Analyzer, "shardorder")
+}

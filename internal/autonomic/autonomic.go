@@ -172,6 +172,12 @@ type Config struct {
 	// run on every re-attach before the team resumes. The workload
 	// must implement SpecBound to participate; others run unchanged.
 	Spec *ckptspec.Spec
+	// Shards, when > 1, hosts the run on the control engine of a shard
+	// group of that size instead of a standalone engine (ignored when
+	// Engine is set). Supervisor, team and chaos events all run at the
+	// group's serial instants, so the execution — and every digest —
+	// is bit-identical to a sequential run at any shard count.
+	Shards int
 }
 
 // SpecBound is the optional Computation extension that ties a rank's
@@ -422,7 +428,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	eng := cfg.Engine
 	if eng == nil {
-		eng = des.NewEngine()
+		if cfg.Shards > 1 {
+			eng = des.NewGroup(cfg.Shards).Control()
+		} else {
+			eng = des.NewEngine()
+		}
 	}
 	if cfg.Chaos != nil {
 		// Fold the plan's partition/brownout windows into the interconnect

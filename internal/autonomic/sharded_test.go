@@ -1,0 +1,47 @@
+package autonomic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestShardedReplayEquivalence pins the acceptance criterion that
+// ValidateReplay digests are bit-identical across shard counts,
+// including a chaos schedule: the supervisor hosts every team on the
+// group's control engine, so sharding must not perturb a single event.
+func TestShardedReplayEquivalence(t *testing.T) {
+	sched, err := chaos.ParseSchedule("crash at 1500ms..6s count 2 jitter 400ms")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	type fp struct {
+		checksum string
+		digests  string
+	}
+	run := func(shards int) fp {
+		cfg := chaosBaseConfig(5)
+		cfg.Shards = shards
+		out, err := ValidateReplay(cfg, sched)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !out.BitExact() {
+			t.Fatalf("shards=%d: injected run not bit-exact against its own reference", shards)
+		}
+		if out.Injected.Failures == 0 {
+			t.Fatalf("shards=%d: no failures injected", shards)
+		}
+		return fp{
+			checksum: fmt.Sprint(out.Injected.Checksum),
+			digests:  fmt.Sprintf("%x", out.Injected.SpaceDigests),
+		}
+	}
+	ref := run(0)
+	for _, shards := range []int{2, 8} {
+		if got := run(shards); got != ref {
+			t.Fatalf("shards=%d: fingerprint %+v diverged from sequential %+v", shards, got, ref)
+		}
+	}
+}

@@ -59,6 +59,9 @@ type MeasureConfig struct {
 	// IncludeInit keeps the data-initialization burst in the series
 	// (summaries are computed either way on the post-init window).
 	IncludeInit bool
+	// Shards runs the simulation across parallel event shards (0 or 1 →
+	// sequential). Results are bit-identical at every shard count.
+	Shards int
 }
 
 // MeasureResult is the instrumentation profile of one run.
@@ -102,6 +105,7 @@ func Measure(cfg MeasureConfig) (*MeasureResult, error) {
 		Periods:     cfg.Periods,
 		Seed:        cfg.Seed,
 		IncludeInit: cfg.IncludeInit,
+		Shards:      cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +162,10 @@ type ProtectConfig struct {
 	// windows detected from the live IWS signal (§6.2/§8), instead of
 	// the fixed Interval cadence. The mean cadence stays at Interval.
 	Adaptive bool
+	// Shards runs the simulation across parallel event shards (0 or 1 →
+	// sequential). Incompatible with Adaptive, whose rank-0 tracker
+	// feeds a controller that must observe every rank.
+	Shards int
 }
 
 // ProtectResult summarises a protected run.
@@ -196,10 +204,14 @@ func Protect(cfg ProtectConfig) (*ProtectResult, error) {
 	if cfg.Periods == 0 {
 		cfg.Periods = 2
 	}
-	r, err := workload.New(spec, workload.Config{Ranks: cfg.Ranks, Seed: cfg.Seed})
+	if cfg.Adaptive && cfg.Shards > 1 {
+		return nil, fmt.Errorf("core: Adaptive and Shards are incompatible (the aligner's tracker signal is rank-0-local)")
+	}
+	r, err := workload.New(spec, workload.Config{Ranks: cfg.Ranks, Seed: cfg.Seed, Shards: cfg.Shards})
 	if err != nil {
 		return nil, err
 	}
+	r.Run(r.InitTail())
 	for r.IterZero() == 0 {
 		if !r.Eng.Step() {
 			return nil, fmt.Errorf("core: %s never started iterating", spec.Name)
@@ -211,7 +223,11 @@ func Protect(cfg ProtectConfig) (*ProtectResult, error) {
 	}
 	var cps []*ckpt.Checkpointer
 	for i := 0; i < cfg.Ranks; i++ {
-		c, err := ckpt.NewCheckpointer(r.Eng, r.Space(i), ckpt.Options{
+		// Per-rank checkpointers bind to the rank's engine; the
+		// coordinator below lives on r.Eng (the control engine in a
+		// sharded run), so global checkpoints execute at serial
+		// instants with every shard parked and all clocks unified.
+		c, err := ckpt.NewCheckpointer(r.EngineFor(i), r.Space(i), ckpt.Options{
 			Rank:      i,
 			Store:     store,
 			Sink:      cfg.Sink,
@@ -253,7 +269,7 @@ func Protect(cfg ProtectConfig) (*ProtectResult, error) {
 	} else {
 		co.StartInterval(cfg.Interval)
 	}
-	r.Run(r.Eng.Now() + des.Time(cfg.Periods)*spec.PeriodAt(cfg.Ranks))
+	r.Run(r.Now() + des.Time(cfg.Periods)*spec.PeriodAt(cfg.Ranks))
 	co.Stop()
 
 	res := &ProtectResult{

@@ -7,10 +7,17 @@
 // which makes whole-cluster runs bit-for-bit reproducible regardless of host
 // scheduling.
 //
-// The engine is intentionally sequential: the paper's metrics (Incremental
-// Working Set, Incremental Bandwidth) are ratios of bytes to virtual time,
-// so no host-level parallelism inside one simulation is needed. Experiment
-// sweeps parallelise across independent Engine instances instead.
+// The engine runs in one of two modes. A standalone Engine (NewEngine) is
+// strictly sequential: the paper's metrics (Incremental Working Set,
+// Incremental Bandwidth) are ratios of bytes to virtual time, so no
+// host-level parallelism inside one simulation is needed, and experiment
+// sweeps parallelise across independent Engine instances. A Group
+// (NewGroup, shard.go) runs several Engines — shards — concurrently on
+// worker goroutines, synchronising at conservative epoch barriers so that
+// per-seed results stay bit-identical to a sequential run regardless of
+// GOMAXPROCS or shard count. Cross-shard communication goes through
+// Engine.PostTo and a canonically ordered mailbox; see shard.go for the
+// event-class taxonomy (local / comm / serial) and the lookahead contract.
 //
 // The event queue is allocation-free in steady state: events live in a slot
 // arena recycled through a free-list, the priority queue is an index-based
@@ -103,9 +110,10 @@ func (e Event) Pending() bool {
 // recycled through the engine's free-list; gen increments at each reap so
 // stale handles cannot alias a successor event in the same slot.
 type eventSlot struct {
-	fn   func()
-	gen  uint32
-	dead bool
+	fn    func()
+	gen   uint32
+	dead  bool
+	local bool // shard-confined event class (see shard.go)
 }
 
 // heapNode is one entry of the 4-ary min-heap. The ordering key (at, seq)
@@ -132,6 +140,13 @@ type Engine struct {
 	free    []int32
 	stopped bool
 	fired   uint64
+
+	// Sharded mode (nil group for standalone engines; see shard.go).
+	group     *Group
+	shard     int        // index within the group; controlShard for the control engine
+	commHeap  []commNode // pending comm events, for horizon computation
+	postSeq   uint64     // canonical per-source ordering of cross-shard posts
+	execLocal bool       // class of the event currently executing
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -143,21 +158,54 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Fired reports the total number of events executed so far, a cheap proxy
-// for simulation work done (useful in benchmarks).
-func (e *Engine) Fired() uint64 { return e.fired }
+// for simulation work done (useful in benchmarks). On a grouped engine it
+// aggregates across every shard and the control engine, so sequential and
+// sharded runs of the same simulation report equal counts; call it
+// between runs only.
+func (e *Engine) Fired() uint64 {
+	if e.group != nil {
+		return e.group.firedTotal()
+	}
+	return e.fired
+}
 
 // Pending reports the number of events still queued (including cancelled
-// events not yet reaped).
-func (e *Engine) Pending() int { return len(e.heap) }
+// events not yet reaped). On a grouped engine it aggregates heaps and
+// undrained mailboxes across the whole group; call it between runs only.
+func (e *Engine) Pending() int {
+	if e.group != nil {
+		return e.group.pending()
+	}
+	return len(e.heap)
+}
 
 // Schedule queues fn to run at absolute virtual time at. Scheduling in the
-// past (before Now) panics: it would silently corrupt causality.
+// past (before Now) panics: it would silently corrupt causality. On a
+// grouped engine the event is a comm event (it may interact with other
+// shards); see ScheduleLocal for the shard-confined class.
 func (e *Engine) Schedule(at Time, fn func()) Event {
+	return e.schedule(at, fn, false)
+}
+
+// ScheduleLocal queues a shard-confined event: fn promises to touch only
+// this engine's shard (its own memory spaces, its own future events) and
+// to schedule only further local events. Local events are excluded from
+// the group's horizon computation, which keeps per-shard event mass
+// (compute ticks, page faults) from serialising parallel epochs. On a
+// standalone engine the class is recorded but changes nothing.
+func (e *Engine) ScheduleLocal(at Time, fn func()) Event {
+	return e.schedule(at, fn, true)
+}
+
+func (e *Engine) schedule(at Time, fn func(), local bool) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("des: schedule with nil callback")
+	}
+	if e.execLocal && !local {
+		panic("des: local event scheduled a comm event; use ScheduleLocal/AfterLocal or reclassify the parent")
 	}
 	var slot int32
 	if n := len(e.free); n > 0 {
@@ -170,15 +218,25 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 	s := &e.slots[slot]
 	s.fn = fn
 	s.dead = false
+	s.local = local
 	e.push(heapNode{at: at, seq: e.seq, slot: slot})
 	e.seq++
+	if e.group != nil && !local && e.shard != controlShard {
+		e.pushComm(commNode{at: at, slot: slot, gen: s.gen})
+	}
 	return Event{eng: e, slot: slot, gen: s.gen, at: at}
 }
 
 // After queues fn to run d after the current virtual time.
 // A negative d panics.
 func (e *Engine) After(d Time, fn func()) Event {
-	return e.Schedule(e.now+d, fn)
+	return e.schedule(e.now+d, fn, false)
+}
+
+// AfterLocal queues a shard-confined event d after the current virtual
+// time; see ScheduleLocal.
+func (e *Engine) AfterLocal(d Time, fn func()) Event {
+	return e.schedule(e.now+d, fn, true)
 }
 
 // push inserts n into the 4-ary heap (sift-up).
@@ -245,12 +303,24 @@ func (e *Engine) reap(slot int32) {
 }
 
 // Stop makes the currently executing Run return after the in-flight event
-// completes. Pending events stay queued.
-func (e *Engine) Stop() { e.stopped = true }
+// completes. Pending events stay queued. On a grouped engine it stops the
+// whole group; safe to call from any shard's events.
+func (e *Engine) Stop() {
+	if e.group != nil {
+		e.group.stopped.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It reports false when the queue is empty.
+// its timestamp. It reports false when the queue is empty. On a grouped
+// engine it steps the globally earliest event anywhere in the group
+// (control engine first on ties, then shards in index order).
 func (e *Engine) Step() bool {
+	if e.group != nil {
+		return e.group.step()
+	}
 	for len(e.heap) > 0 {
 		n := e.pop()
 		s := &e.slots[n.slot]
@@ -272,7 +342,12 @@ func (e *Engine) Step() bool {
 // calls Stop, or the next event would fire strictly after until. The clock
 // ends at the time of the last executed event, or at until when the run was
 // bounded and events remain. Run returns the number of events executed.
+// On a grouped engine, Run drives the whole group through the parallel
+// epoch scheduler (shard.go) and returns the group-wide event count.
 func (e *Engine) Run(until Time) uint64 {
+	if e.group != nil {
+		return e.group.run(until)
+	}
 	e.stopped = false
 	var n uint64
 	for !e.stopped {

@@ -39,6 +39,10 @@ type RunOpts struct {
 	// PageSize overrides the simulated page size (0 → the Itanium II's
 	// 16 KB). The page-size ablation sweeps this.
 	PageSize uint64
+	// Shards runs the simulation across that many parallel event shards
+	// (0 or 1 → sequential). Results are bit-identical at every shard
+	// count; only wall-clock time changes.
+	Shards int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -69,6 +73,14 @@ type RunResult struct {
 	Footprint *metrics.Series // MB mapped per slice
 	Samples   []tracker.Sample
 	Slowdown  float64
+	// Events is the total simulation events fired, the work unit the
+	// scaling experiment (A20) normalises wall-clock against.
+	Events uint64
+	// CritPathEvents is the longest dependent event chain of the run
+	// (every event, for a sequential run). Events/CritPathEvents is the
+	// run's available concurrency — a deterministic, host-independent
+	// companion to A20's wall-clock speedups.
+	CritPathEvents uint64
 }
 
 // IBSummary summarises the IB series (init already excluded).
@@ -85,11 +97,14 @@ func (r *RunResult) FootprintSummary() metrics.Summary { return metrics.Summariz
 // free of straddle inflation.
 func RunOne(spec workload.Spec, opts RunOpts) (*RunResult, error) {
 	opts = opts.withDefaults()
-	r, err := workload.New(spec, workload.Config{Ranks: opts.Ranks, Seed: opts.Seed, PageSize: opts.PageSize})
+	r, err := workload.New(spec, workload.Config{Ranks: opts.Ranks, Seed: opts.Seed, PageSize: opts.PageSize, Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}
-	tr, err := tracker.New(r.Eng, r.Space(0), tracker.Options{Timeslice: opts.Timeslice})
+	// The tracker instruments rank 0 only, so it binds to rank 0's
+	// engine: in a sharded run its sampling alarms and delivery hooks
+	// stay on rank 0's shard.
+	tr, err := tracker.New(r.EngineFor(0), r.Space(0), tracker.Options{Timeslice: opts.Timeslice})
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +113,9 @@ func RunOne(spec workload.Spec, opts RunOpts) (*RunResult, error) {
 	if opts.IncludeInit {
 		tr.Start()
 	} else {
-		// Advance event by event until rank 0 enters iteration 0.
+		// Run the bulk of initialization (parallel in a sharded run),
+		// then advance event by event until rank 0 enters iteration 0.
+		r.Run(r.InitTail())
 		for r.IterZero() == 0 {
 			if !r.Eng.Step() {
 				return nil, fmt.Errorf("experiments: %s never reached iteration 0", spec.Name)
@@ -120,20 +137,22 @@ func RunOne(spec workload.Spec, opts RunOpts) (*RunResult, error) {
 	if slices == 0 {
 		return nil, fmt.Errorf("experiments: %s: timeslice %v exceeds measurement window %v", spec.Name, opts.Timeslice, dur)
 	}
-	r.Run(r.Eng.Now() + slices*opts.Timeslice)
+	r.Run(r.Now() + slices*opts.Timeslice)
 	tr.Stop()
 
 	return &RunResult{
-		Spec:      spec,
-		Opts:      opts,
-		IterZero:  r.IterZero(),
-		Period:    period,
-		IWS:       tr.IWSSeries(),
-		IB:        tr.IBSeries(),
-		Recv:      tr.RecvSeries(),
-		Footprint: tr.FootprintSeries(),
-		Samples:   tr.Samples(),
-		Slowdown:  tr.Slowdown(),
+		Spec:           spec,
+		Opts:           opts,
+		IterZero:       r.IterZero(),
+		Period:         period,
+		IWS:            tr.IWSSeries(),
+		IB:             tr.IBSeries(),
+		Recv:           tr.RecvSeries(),
+		Footprint:      tr.FootprintSeries(),
+		Samples:        tr.Samples(),
+		Slowdown:       tr.Slowdown(),
+		Events:         r.Eng.Fired(),
+		CritPathEvents: r.CriticalPathEvents(),
 	}, nil
 }
 

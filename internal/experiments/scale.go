@@ -29,10 +29,11 @@ type SymmetryResult struct {
 // measures how similar the per-rank bandwidth requirements are.
 func RankSymmetry(spec workload.Spec, opts RunOpts) (*SymmetryResult, error) {
 	opts = opts.withDefaults()
-	r, err := workload.New(spec, workload.Config{Ranks: opts.Ranks, Seed: opts.Seed})
+	r, err := workload.New(spec, workload.Config{Ranks: opts.Ranks, Seed: opts.Seed, Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}
+	r.Run(r.InitTail())
 	for r.IterZero() == 0 {
 		if !r.Eng.Step() {
 			return nil, errNeverIterated(spec)
@@ -40,7 +41,9 @@ func RankSymmetry(spec workload.Spec, opts RunOpts) (*SymmetryResult, error) {
 	}
 	trs := make([]*tracker.Tracker, opts.Ranks)
 	for i := 0; i < opts.Ranks; i++ {
-		tr, err := tracker.New(r.Eng, r.Space(i), tracker.Options{Timeslice: opts.Timeslice})
+		// Each rank's tracker binds to that rank's engine so its
+		// sampling alarms stay on the rank's shard.
+		tr, err := tracker.New(r.EngineFor(i), r.Space(i), tracker.Options{Timeslice: opts.Timeslice})
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +54,7 @@ func RankSymmetry(spec workload.Spec, opts RunOpts) (*SymmetryResult, error) {
 	period := spec.PeriodAt(opts.Ranks)
 	dur := des.Time(periodsFor(spec, 10)) * period
 	slices := dur / opts.Timeslice
-	r.Run(r.Eng.Now() + slices*opts.Timeslice)
+	r.Run(r.Now() + slices*opts.Timeslice)
 
 	res := &SymmetryResult{App: spec.Name, Ranks: opts.Ranks}
 	for _, tr := range trs {

@@ -16,16 +16,17 @@ func (r *Rank) Bcast(root int, bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
 	rank := r
+	eng := w.engFor(r.id)
 	r.Barrier(func() {
-		xfer := w.collectiveXfer(steps, bytes)
-		w.eng.After(xfer, func() {
+		xfer := w.collectiveXfer(steps, bytes, eng.Now())
+		eng.After(xfer, func() {
 			if rank.id != root {
 				if destAddr != 0 && bytes > 0 {
 					rank.copyOut(destAddr, bytes)
 				}
 				rank.stats.BytesReceived += bytes
 				if rank.onDeliver != nil {
-					rank.onDeliver(bytes, w.eng.Now())
+					rank.onDeliver(bytes, eng.Now())
 				}
 			}
 			if fn != nil {
@@ -41,16 +42,17 @@ func (r *Rank) Reduce(root int, bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
 	rank := r
+	eng := w.engFor(r.id)
 	r.Barrier(func() {
-		xfer := w.collectiveXfer(steps, bytes)
-		w.eng.After(xfer, func() {
+		xfer := w.collectiveXfer(steps, bytes, eng.Now())
+		eng.After(xfer, func() {
 			if rank.id == root {
 				if destAddr != 0 && bytes > 0 {
 					rank.copyOut(destAddr, bytes)
 				}
 				rank.stats.BytesReceived += bytes
 				if rank.onDeliver != nil {
-					rank.onDeliver(bytes, w.eng.Now())
+					rank.onDeliver(bytes, eng.Now())
 				}
 			}
 			if fn != nil {
@@ -70,15 +72,16 @@ func (r *Rank) Alltoall(bytesPerRank uint64, destAddr uint64, fn func()) {
 	steps := des.Time(n - 1)
 	total := bytesPerRank * uint64(n-1)
 	rank := r
+	eng := w.engFor(r.id)
 	r.Barrier(func() {
-		xfer := w.collectiveXfer(steps, bytesPerRank)
-		w.eng.After(xfer, func() {
+		xfer := w.collectiveXfer(steps, bytesPerRank, eng.Now())
+		eng.After(xfer, func() {
 			if destAddr != 0 && total > 0 {
 				rank.copyOut(destAddr, total)
 			}
 			rank.stats.BytesReceived += total
 			if rank.onDeliver != nil && total > 0 {
-				rank.onDeliver(total, w.eng.Now())
+				rank.onDeliver(total, eng.Now())
 			}
 			if fn != nil {
 				fn()

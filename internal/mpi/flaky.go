@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/des"
 )
@@ -109,11 +110,31 @@ type NetFaultStats struct {
 }
 
 // netFaults is the World's installed fault state.
+//
+// Sequential worlds draw every packet fate from the single shared rng,
+// preserving the historical per-seed timelines bit-for-bit. Sharded
+// worlds draw from per-source-rank streams (perSrc) instead: a shared
+// stream would be consumed in host-scheduling order by concurrent
+// shards, while per-source streams are consumed in each source rank's
+// own deterministic event order, making the full fault timeline — not
+// just the digests — identical at every shard count. Barrier penalties,
+// which have no single source rank, draw from a fresh per-generation
+// stream. smu guards the shared counters, which concurrent shards bump.
 type netFaults struct {
-	cfg   NetFaultConfig
-	rng   *rand.Rand
-	stats NetFaultStats
-	links map[[2]int]float64
+	cfg    NetFaultConfig
+	rng    *rand.Rand
+	perSrc []*rand.Rand // non-nil on sharded worlds
+	smu    sync.Mutex   // guards stats on sharded worlds
+	stats  NetFaultStats
+	links  map[[2]int]float64
+}
+
+// rngFor returns the draw stream for packets injected by src.
+func (f *netFaults) rngFor(src int) *rand.Rand {
+	if f.perSrc == nil {
+		return f.rng
+	}
+	return f.perSrc[src]
 }
 
 // reliableHardCap bounds the unlimited-retry plan of plain sends. The
@@ -143,6 +164,12 @@ func (w *World) SetFaults(cfg NetFaultConfig) error {
 		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xF1A4)),
 		links: make(map[[2]int]float64, len(cfg.Links)),
 	}
+	if w.sharded {
+		f.perSrc = make([]*rand.Rand, len(w.ranks))
+		for i := range f.perSrc {
+			f.perSrc[i] = rand.New(rand.NewPCG(cfg.Seed, 0xF1A4_0001+uint64(i)))
+		}
+	}
 	for _, l := range cfg.Links {
 		f.links[[2]int{l.Src, l.Dst}] += l.DropRate
 	}
@@ -154,11 +181,13 @@ func (w *World) SetFaults(cfg NetFaultConfig) error {
 func (w *World) Faulty() bool { return w.faults != nil }
 
 // FaultStats returns a copy of the fault-model counters (zero value when
-// no model is installed).
+// no model is installed). On sharded worlds, call between runs only.
 func (w *World) FaultStats() NetFaultStats {
 	if w.faults == nil {
 		return NetFaultStats{}
 	}
+	w.faults.smu.Lock()
+	defer w.faults.smu.Unlock()
 	return w.faults.stats
 }
 
@@ -209,12 +238,13 @@ func (w *World) scaledTransfer(bytes uint64, at des.Time) des.Time {
 	return base
 }
 
-// jitter draws one packet's extra delay.
-func (f *netFaults) jitter() des.Time {
+// jitterFrom draws one packet's extra delay from rng. The caller holds
+// smu (or is on a sequential world, where smu is uncontended anyway).
+func (f *netFaults) jitterFrom(rng *rand.Rand) des.Time {
 	if f.cfg.JitterMax <= 0 {
 		return 0
 	}
-	j := des.Time(f.rng.Int64N(int64(f.cfg.JitterMax)))
+	j := des.Time(rng.Int64N(int64(f.cfg.JitterMax)))
 	f.stats.JitterTotal += j
 	return j
 }
@@ -236,7 +266,10 @@ func (w *World) rto(bytes uint64) des.Time {
 // backoff schedule.
 func (w *World) planARQ(src, dst int, bytes uint64, maxAttempts int) (deliver, ack des.Time, delivered, acked bool) {
 	f := w.faults
-	now := w.eng.Now()
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	rng := f.rngFor(src)
+	now := w.engFor(src).Now()
 	unlimited := maxAttempts <= 0
 	if unlimited {
 		maxAttempts = reliableHardCap
@@ -249,18 +282,18 @@ func (w *World) planARQ(src, dst int, bytes uint64, maxAttempts int) (deliver, a
 			f.stats.Retransmits++
 		}
 		at := now + start
-		if f.rng.Float64() < w.lossAt(src, dst, at) {
+		if rng.Float64() < w.lossAt(src, dst, at) {
 			f.stats.Drops++
 		} else {
-			arr := start + w.scaledTransfer(bytes, at) + f.jitter()
+			arr := start + w.scaledTransfer(bytes, at) + f.jitterFrom(rng)
 			if !delivered {
 				deliver, delivered = arr, true
 			}
 			// The ack rides the reverse link.
-			if f.rng.Float64() < w.lossAt(dst, src, now+arr) {
+			if rng.Float64() < w.lossAt(dst, src, now+arr) {
 				f.stats.Drops++
 			} else {
-				ack, acked = arr+w.net.Latency+f.jitter(), true
+				ack, acked = arr+w.net.Latency+f.jitterFrom(rng), true
 				break
 			}
 		}
@@ -283,8 +316,10 @@ func (w *World) planARQ(src, dst int, bytes uint64, maxAttempts int) (deliver, a
 // suppressDup accounts for in-flight duplication on an ARQ path: the
 // receiver's sequence numbers drop the extra copy, so it costs nothing
 // but shows up in the stats.
-func (f *netFaults) suppressDup() {
-	if f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate {
+func (f *netFaults) suppressDup(src int) {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	if f.cfg.DupRate > 0 && f.rngFor(src).Float64() < f.cfg.DupRate {
 		f.stats.DupDeliveries++
 		f.stats.SuppressedDups++
 	}
@@ -292,14 +327,16 @@ func (f *netFaults) suppressDup() {
 
 // sendFaulty routes a plain (exactly-once) send through the ARQ model:
 // delivery at the first surviving copy, sender completion at the first
-// surviving ack.
+// surviving ack. Every arrival offset is at least one transfer time and
+// therefore at least one latency — the sharded lookahead contract.
 func (w *World) sendFaulty(msg Message, onComplete func()) {
 	deliver, ack, _, _ := w.planARQ(msg.Src, msg.Dst, msg.Bytes, 0)
-	w.faults.suppressDup()
+	w.faults.suppressDup(msg.Src)
 	w.trackDelivery(msg.Dst)
-	w.eng.After(deliver, func() { w.ranks[msg.Dst].deliver(msg) })
+	src := w.engFor(msg.Src)
+	src.PostTo(w.engFor(msg.Dst), src.Now()+deliver, func() { w.ranks[msg.Dst].deliver(msg) })
 	if onComplete != nil {
-		w.eng.After(ack, onComplete)
+		src.After(ack, onComplete)
 	}
 }
 
@@ -315,14 +352,15 @@ func (r *Rank) SendReliable(dst, tag int, bytes uint64, onComplete func(error)) 
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	w := r.world
+	eng := w.engFor(r.id)
 	r.stats.Sends++
 	r.stats.BytesSent += bytes
-	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: w.eng.Now()}
+	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: eng.Now()}
 	if w.faults == nil {
 		w.trackDelivery(dst)
-		w.eng.After(w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
+		eng.PostTo(w.engFor(dst), eng.Now()+w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
 		if onComplete != nil {
-			w.eng.After(w.net.Latency, func() { onComplete(nil) })
+			eng.After(w.net.Latency, func() { onComplete(nil) })
 		}
 		return
 	}
@@ -332,20 +370,22 @@ func (r *Rank) SendReliable(dst, tag int, bytes uint64, onComplete func(error)) 
 	}
 	deliver, ack, delivered, acked := w.planARQ(r.id, dst, bytes, maxA)
 	if delivered {
-		w.faults.suppressDup()
+		w.faults.suppressDup(r.id)
 		w.trackDelivery(dst)
-		w.eng.After(deliver, func() { w.ranks[dst].deliver(msg) })
+		eng.PostTo(w.engFor(dst), eng.Now()+deliver, func() { w.ranks[dst].deliver(msg) })
 	}
 	if acked {
 		if onComplete != nil {
-			w.eng.After(ack, func() { onComplete(nil) })
+			eng.After(ack, func() { onComplete(nil) })
 		}
 		return
 	}
+	w.faults.smu.Lock()
 	w.faults.stats.Timeouts++
+	w.faults.smu.Unlock()
 	if onComplete != nil {
 		src := r.id
-		w.eng.After(ack, func() {
+		eng.After(ack, func() {
 			onComplete(fmt.Errorf("mpi: send %d->%d tag %d gave up after %d attempts: %w",
 				src, dst, tag, maxA, ErrLinkTimeout))
 		})
@@ -363,32 +403,41 @@ func (r *Rank) SendBestEffort(dst, tag int, bytes uint64, onComplete func()) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	w := r.world
+	eng := w.engFor(r.id)
 	r.stats.Sends++
 	r.stats.BytesSent += bytes
-	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: w.eng.Now()}
+	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, SentAt: eng.Now()}
 	if w.faults == nil {
 		w.trackDelivery(dst)
-		w.eng.After(w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
+		eng.PostTo(w.engFor(dst), eng.Now()+w.net.transfer(bytes), func() { w.ranks[dst].deliver(msg) })
 	} else {
 		f := w.faults
+		f.smu.Lock()
+		rng := f.rngFor(r.id)
 		f.stats.Attempts++
-		at := w.eng.Now()
-		if f.rng.Float64() < w.lossAt(r.id, dst, at) {
+		at := eng.Now()
+		if rng.Float64() < w.lossAt(r.id, dst, at) {
 			f.stats.Drops++
+			f.smu.Unlock()
 		} else {
-			arr := w.scaledTransfer(bytes, at) + f.jitter()
-			w.trackDelivery(dst)
-			w.eng.After(arr, func() { w.ranks[dst].deliver(msg) })
-			if f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate {
+			arr := w.scaledTransfer(bytes, at) + f.jitterFrom(rng)
+			dup := f.cfg.DupRate > 0 && rng.Float64() < f.cfg.DupRate
+			var arr2 des.Time
+			if dup {
 				f.stats.DupDeliveries++
-				arr2 := arr + w.net.Latency + f.jitter()
+				arr2 = arr + w.net.Latency + f.jitterFrom(rng)
+			}
+			f.smu.Unlock()
+			w.trackDelivery(dst)
+			eng.PostTo(w.engFor(dst), at+arr, func() { w.ranks[dst].deliver(msg) })
+			if dup {
 				w.trackDelivery(dst)
-				w.eng.After(arr2, func() { w.ranks[dst].deliver(msg) })
+				eng.PostTo(w.engFor(dst), at+arr2, func() { w.ranks[dst].deliver(msg) })
 			}
 		}
 	}
 	if onComplete != nil {
-		w.eng.After(w.net.Latency, onComplete)
+		eng.After(w.net.Latency, onComplete)
 	}
 }
 
@@ -399,9 +448,19 @@ const barrierMsgBytes = 64
 // dissemination round, the slowest participant's jitter, plus one
 // retransmit round whenever any of the N packets in the round is lost.
 // Drawn once per barrier, at release, by the last arriver — so every
-// rank still releases at the same virtual instant.
-func (w *World) barrierPenalty(rounds, ranks int, at des.Time) des.Time {
+// rank still releases at the same virtual instant. A barrier has no
+// single source rank, and on sharded worlds which rank completes it is a
+// host-scheduling artifact, so sharded draws come from a fresh stream
+// keyed by the barrier generation; sequential worlds keep the shared
+// stream and their historical timelines.
+func (w *World) barrierPenalty(rounds, ranks int, at des.Time, gen uint64) des.Time {
 	f := w.faults
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	rng := f.rng
+	if f.perSrc != nil {
+		rng = rand.New(rand.NewPCG(f.cfg.Seed, 0xBA22_1E20+gen))
+	}
 	rto := w.rto(barrierMsgBytes)
 	var penalty des.Time
 	for round := 0; round < rounds; round++ {
@@ -409,10 +468,10 @@ func (w *World) barrierPenalty(rounds, ranks int, at des.Time) des.Time {
 		var jmax des.Time
 		for i := 0; i < ranks; i++ {
 			f.stats.Attempts++
-			if f.rng.Float64() < w.aggLossAt(at+penalty) {
+			if rng.Float64() < w.aggLossAt(at+penalty) {
 				f.stats.Drops++
 				lost = true
-			} else if j := f.jitter(); j > jmax {
+			} else if j := f.jitterFrom(rng); j > jmax {
 				jmax = j
 			}
 		}
@@ -431,12 +490,11 @@ func (w *World) barrierPenalty(rounds, ranks int, at des.Time) des.Time {
 // fabric loss rate. Deterministic (no draws) and identical for every
 // rank, so collectives keep completing at one common virtual time; with
 // no fault model it reduces to steps*transfer(bytes) exactly.
-func (w *World) collectiveXfer(steps des.Time, bytes uint64) des.Time {
+func (w *World) collectiveXfer(steps des.Time, bytes uint64, now des.Time) des.Time {
 	base := steps * w.net.transfer(bytes)
 	if w.faults == nil || base == 0 {
 		return base
 	}
-	now := w.eng.Now()
 	scaled := float64(base) * w.faults.slowFactorAt(now)
 	if p := w.aggLossAt(now); p > 0 {
 		scaled /= 1 - p

@@ -23,6 +23,7 @@ package mpi
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/mem"
@@ -174,9 +175,16 @@ type World struct {
 	mode  DeliveryMode
 	ranks []*Rank
 
+	// engs, when non-nil, maps each rank to the engine shard it runs on
+	// (see NewShardedWorld). Nil worlds run every rank on eng.
+	engs    []*des.Engine
+	sharded bool
+
+	bmu            sync.Mutex // guards barrier state in sharded worlds
 	barrierGen     uint64
 	barrierArrived int
 	barrierFns     []func()
+	barrierSlots   []func() // per-rank arrival slots (sharded barriers)
 	barrierMax     des.Time
 	barrierFirst   des.Time
 
@@ -187,6 +195,14 @@ type World struct {
 	// rdma, when non-nil, is the registered-memory model installed by
 	// EnableRDMA (see rdma.go). Nil worlds skip in-flight tracking.
 	rdma *rdmaState
+}
+
+// engFor returns the engine rank id runs on.
+func (w *World) engFor(id int) *des.Engine {
+	if w.engs == nil {
+		return w.eng
+	}
+	return w.engs[id]
 }
 
 // NewWorld creates n ranks, each owning one of the provided address
@@ -207,6 +223,39 @@ func NewWorld(eng *des.Engine, net Network, mode DeliveryMode, spaces []*mem.Add
 			r.bounce = b
 		}
 		w.ranks = append(w.ranks, r)
+	}
+	return w, nil
+}
+
+// NewShardedWorld creates a world whose ranks are distributed over the
+// engines of a des.Group: rank i's events run on engs[i] (len(engs) must
+// equal len(spaces)), and cross-rank traffic between different shards
+// rides the group's mailbox protocol. Every per-message virtual delay in
+// this package is at least Network.Latency, so callers should declare
+// that latency as the group lookahead. Sharded worlds switch the fault
+// model (SetFaults) to per-source RNG streams and the barrier to keyed
+// cross-shard releases; both stay deterministic for a fixed seed at
+// every shard count.
+func NewShardedWorld(engs []*des.Engine, net Network, mode DeliveryMode, spaces []*mem.AddressSpace) (*World, error) {
+	if len(engs) != len(spaces) {
+		return nil, fmt.Errorf("mpi: %d engines for %d ranks", len(engs), len(spaces))
+	}
+	if net.Latency <= 0 {
+		return nil, fmt.Errorf("mpi: sharded world needs positive link latency for lookahead")
+	}
+	w, err := NewWorld(engs[0], net, mode, spaces)
+	if err != nil {
+		return nil, err
+	}
+	w.engs = engs
+	w.sharded = true
+	// Every cross-rank delivery carries at least one link latency of
+	// virtual delay (transfer, ARQ and barrier paths all lower-bound at
+	// Latency), so the network's latency is a sound epoch lookahead.
+	for _, e := range engs {
+		if g := e.Group(); g != nil {
+			g.DeclareLookahead(net.Latency)
+		}
 	}
 	return w, nil
 }
@@ -246,9 +295,10 @@ func (r *Rank) send(dst, tag int, bytes uint64, payload []byte, onComplete func(
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	w := r.world
+	src := w.engFor(r.id)
 	r.stats.Sends++
 	r.stats.BytesSent += bytes
-	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: w.eng.Now()}
+	msg := Message{Src: r.id, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: src.Now()}
 	if w.faults != nil {
 		// Lossy fabric: exactly-once delivery rides the ARQ schedule;
 		// the sender completes at the first surviving ack.
@@ -257,12 +307,13 @@ func (r *Rank) send(dst, tag int, bytes uint64, payload []byte, onComplete func(
 	}
 	arrival := w.net.transfer(bytes)
 	w.trackDelivery(dst)
-	w.eng.After(arrival, func() {
+	// transfer() >= Latency, so the cross-shard lookahead contract holds.
+	src.PostTo(w.engFor(dst), src.Now()+arrival, func() {
 		w.ranks[dst].deliver(msg)
 	})
 	if onComplete != nil {
 		// Eager injection: sender-side overhead is one latency.
-		w.eng.After(w.net.Latency, onComplete)
+		src.After(w.net.Latency, onComplete)
 	}
 }
 
@@ -288,9 +339,10 @@ func (pr *pendingRecv) matches(m Message) bool {
 }
 
 // deliver handles a message arriving at the NIC at the current time.
+// It always executes on the destination rank's engine shard.
 func (r *Rank) deliver(m Message) {
 	r.world.untrackDelivery(r.id)
-	m.DeliveredAt = r.world.eng.Now()
+	m.DeliveredAt = r.world.engFor(r.id).Now()
 	for i, pr := range r.recvQ {
 		if pr.matches(m) {
 			r.recvQ = append(r.recvQ[:i], r.recvQ[i+1:]...)
@@ -309,7 +361,7 @@ func (r *Rank) complete(pr *pendingRecv, m Message, arrivedAt des.Time) {
 		r.stats.Recvs++
 		r.stats.BytesReceived += m.Bytes
 		if r.onDeliver != nil {
-			r.onDeliver(m.Bytes, w.eng.Now())
+			r.onDeliver(m.Bytes, w.engFor(r.id).Now())
 		}
 		if pr.fn != nil {
 			pr.fn(m)
@@ -364,7 +416,7 @@ func (r *Rank) complete(pr *pendingRecv, m Message, arrivedAt des.Time) {
 func (r *Rank) bounceDeliver(addr uint64, m Message, finish func()) {
 	w := r.world
 	r.stats.BounceCopyBytes += m.Bytes
-	w.eng.After(w.net.copyTime(m.Bytes), func() {
+	w.engFor(r.id).After(w.net.copyTime(m.Bytes), func() {
 		r.store(addr, m.Bytes, m.Payload)
 		finish()
 	})
@@ -420,9 +472,21 @@ func logTwo(n int) int {
 // Barrier blocks r until every rank in the world has called Barrier for
 // the same generation. All continuations run at the same virtual time:
 // lastArrival + latency*ceil(log2 N), the dissemination-barrier cost.
+// Each rank's continuation fires as its own release event on that rank's
+// engine — in arrival order on sequential worlds, and in canonical
+// (generation, rank) key order on sharded worlds, where arrival order is
+// a host-scheduling artifact.
 func (r *Rank) Barrier(fn func()) {
 	w := r.world
 	r.stats.CollectiveCalls++
+	if w.sharded {
+		w.barrierSharded(r, fn)
+		return
+	}
+	w.barrierSequential(r, fn)
+}
+
+func (w *World) barrierSequential(r *Rank, fn func()) {
 	now := w.eng.Now()
 	if w.barrierArrived == 0 {
 		w.barrierMax = now
@@ -438,7 +502,7 @@ func (r *Rank) Barrier(fn func()) {
 	}
 	release := w.barrierMax + w.net.Latency*des.Time(logTwo(len(w.ranks)))
 	if w.faults != nil {
-		release += w.barrierPenalty(logTwo(len(w.ranks)), len(w.ranks), w.barrierMax)
+		release += w.barrierPenalty(logTwo(len(w.ranks)), len(w.ranks), w.barrierMax, w.barrierGen)
 	}
 	fns := w.barrierFns
 	wait := w.barrierMax - w.barrierFirst
@@ -448,13 +512,69 @@ func (r *Rank) Barrier(fn func()) {
 	w.barrierArrived = 0
 	w.barrierFns = nil
 	w.barrierGen++
-	w.eng.Schedule(release, func() {
-		for _, f := range fns {
+	for _, f := range fns {
+		f := f
+		w.eng.Schedule(release, func() {
 			if f != nil {
 				f()
 			}
+		})
+	}
+}
+
+// barrierSharded is the concurrent arrival path: ranks on different
+// shards may arrive from parallel worker goroutines, so the bookkeeping
+// is commutative (max/min/count plus a per-rank slot, all under bmu) and
+// the completer posts one keyed release per rank — the canonical
+// (generation, rank) mailbox key, never mutex acquisition order, decides
+// how simultaneous releases interleave with other traffic.
+func (w *World) barrierSharded(r *Rank, fn func()) {
+	eng := w.engFor(r.id)
+	now := eng.Now()
+	w.bmu.Lock()
+	if w.barrierArrived == 0 {
+		w.barrierMax = now
+		w.barrierFirst = now
+		if w.barrierSlots == nil {
+			w.barrierSlots = make([]func(), len(w.ranks))
 		}
-	})
+	}
+	if now > w.barrierMax {
+		w.barrierMax = now
+	}
+	if now < w.barrierFirst {
+		w.barrierFirst = now
+	}
+	w.barrierArrived++
+	w.barrierSlots[r.id] = fn
+	if w.barrierArrived < len(w.ranks) {
+		w.bmu.Unlock()
+		return
+	}
+	release := w.barrierMax + w.net.Latency*des.Time(logTwo(len(w.ranks)))
+	gen := w.barrierGen
+	if w.faults != nil {
+		release += w.barrierPenalty(logTwo(len(w.ranks)), len(w.ranks), w.barrierMax, gen)
+	}
+	wait := w.barrierMax - w.barrierFirst
+	slots := w.barrierSlots
+	w.barrierSlots = make([]func(), len(w.ranks))
+	w.barrierArrived = 0
+	w.barrierGen++
+	w.bmu.Unlock()
+	for _, rk := range w.ranks {
+		// Safe unlocked: barrier completions are serialised by the
+		// arrival count, and BarrierWaitTotal is written only here.
+		rk.stats.BarrierWaitTotal += wait
+	}
+	for i := range w.ranks {
+		f := slots[i]
+		eng.PostToOrdered(w.engFor(i), release, des.OrderedKeyMin+gen, uint64(i), func() {
+			if f != nil {
+				f()
+			}
+		})
+	}
 }
 
 // AllReduce performs a global reduction of bytes payload per rank,
@@ -465,18 +585,19 @@ func (r *Rank) AllReduce(bytes uint64, destAddr uint64, fn func()) {
 	w := r.world
 	steps := des.Time(logTwo(len(w.ranks)))
 	rank := r
+	eng := w.engFor(r.id)
 	r.Barrier(func() {
 		// Computed at release so degradation windows active *now* apply;
 		// identical for every rank (no draws), so completion stays
 		// simultaneous.
-		xfer := w.collectiveXfer(steps, bytes)
-		w.eng.After(xfer, func() {
+		xfer := w.collectiveXfer(steps, bytes, eng.Now())
+		eng.After(xfer, func() {
 			if destAddr != 0 && bytes > 0 {
 				rank.copyOut(destAddr, bytes)
 			}
 			rank.stats.BytesReceived += bytes * uint64(logTwo(len(w.ranks)))
 			if rank.onDeliver != nil {
-				rank.onDeliver(bytes*uint64(logTwo(len(w.ranks))), w.eng.Now())
+				rank.onDeliver(bytes*uint64(logTwo(len(w.ranks))), eng.Now())
 			}
 			if fn != nil {
 				fn()

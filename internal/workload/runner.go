@@ -33,6 +33,13 @@ type Config struct {
 	// timeslices; the runner automatically refines ticks for bursts
 	// shorter than ~20 ticks.
 	MaxTick des.Time
+	// Shards selects the event-engine topology. Zero or one runs the
+	// whole simulation on a single sequential engine (the default, and
+	// bit-identical to historical runs). Larger values spread ranks
+	// round-robin across that many parallel event shards (clamped to
+	// Ranks), synchronised at deterministic epoch barriers; per-seed
+	// results are identical at every shard count.
+	Shards int
 }
 
 func (c Config) withDefaults(spec Spec) Config {
@@ -57,8 +64,13 @@ type Runner struct {
 	Spec Spec
 	Cfg  Config
 
+	// Eng is the engine experiments drive Run/Step on and the home of
+	// control-plane work (coordinators, adaptive controllers). With
+	// Shards <= 1 it is the single sequential engine; otherwise it is
+	// the group's control engine, whose events run at serial instants.
 	Eng    *des.Engine
 	World  *mpi.World
+	group  *des.Group
 	spaces []*mem.AddressSpace
 	apps   []*app
 
@@ -73,16 +85,31 @@ func New(spec Spec, cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults(spec)
-	eng := des.NewEngine()
 	spaces := make([]*mem.AddressSpace, cfg.Ranks)
 	for i := range spaces {
 		spaces[i] = mem.NewAddressSpace(mem.Config{PageSize: cfg.PageSize, Phantom: !cfg.Backed})
 	}
-	world, err := mpi.NewWorld(eng, cfg.Net, cfg.Mode, spaces)
-	if err != nil {
-		return nil, err
+	r := &Runner{Spec: spec, Cfg: cfg, spaces: spaces}
+	if cfg.Shards > 1 {
+		r.group = des.NewGroup(min(cfg.Shards, cfg.Ranks))
+		r.Eng = r.group.Control()
+		engs := make([]*des.Engine, cfg.Ranks)
+		for i := range engs {
+			engs[i] = r.EngineFor(i)
+		}
+		world, err := mpi.NewShardedWorld(engs, cfg.Net, cfg.Mode, spaces)
+		if err != nil {
+			return nil, err
+		}
+		r.World = world
+	} else {
+		r.Eng = des.NewEngine()
+		world, err := mpi.NewWorld(r.Eng, cfg.Net, cfg.Mode, spaces)
+		if err != nil {
+			return nil, err
+		}
+		r.World = world
 	}
-	r := &Runner{Spec: spec, Cfg: cfg, Eng: eng, World: world, spaces: spaces}
 	for i := 0; i < cfg.Ranks; i++ {
 		a, err := newApp(r, i)
 		if err != nil {
@@ -90,20 +117,54 @@ func New(spec Spec, cfg Config) (*Runner, error) {
 		}
 		r.apps = append(r.apps, a)
 	}
-	// All ranks begin initialization at t=0.
-	eng.Schedule(0, func() {
-		for _, a := range r.apps {
-			a.startInit()
-		}
-	})
+	// All ranks begin initialization at t=0, each on its own engine.
+	for _, a := range r.apps {
+		a := a
+		a.eng.Schedule(0, func() { a.startInit() })
+	}
 	return r, nil
 }
 
 // Space returns rank i's address space.
 func (r *Runner) Space(i int) *mem.AddressSpace { return r.spaces[i] }
 
+// EngineFor returns the engine rank i's events execute on: the single
+// sequential engine, or the rank's data shard in a sharded run. Per-rank
+// instruments (trackers, checkpointers) must bind to this engine so
+// their callbacks stay on the rank's shard.
+func (r *Runner) EngineFor(i int) *des.Engine {
+	if r.group != nil {
+		return r.group.Shard(i % r.group.Shards())
+	}
+	return r.Eng
+}
+
+// Group returns the shard group, or nil for a sequential run.
+func (r *Runner) Group() *des.Group { return r.group }
+
+// CriticalPathEvents reports the longest dependent event chain executed
+// so far. Eng.Fired()/CriticalPathEvents() is the run's available
+// concurrency — deterministic per seed and shard count, unlike
+// wall-clock. A sequential run has every event on the chain.
+func (r *Runner) CriticalPathEvents() uint64 {
+	if r.group != nil {
+		return r.group.CriticalPathEvents()
+	}
+	return r.Eng.Fired()
+}
+
 // Run advances the simulation until the given virtual time.
 func (r *Runner) Run(until des.Time) { r.Eng.Run(until) }
+
+// Now reports the run's current virtual time: the engine clock, or the
+// maximum member clock of a sharded group (members may transiently skew
+// within an epoch; they unify at Run boundaries).
+func (r *Runner) Now() des.Time {
+	if r.group != nil {
+		return r.group.Now()
+	}
+	return r.Eng.Now()
+}
 
 // IterZero reports when rank 0 entered its first iteration (after the
 // data-initialization phase); zero until that has happened. Experiments
@@ -116,6 +177,27 @@ func (r *Runner) IterZero() des.Time { return r.iterZero }
 func (r *Runner) InitEstimate() des.Time {
 	secs := r.Spec.PersistentMB() / r.Spec.InitRateMBs
 	return des.FromSeconds(secs*1.05) + 100*des.Millisecond
+}
+
+// InitTail returns the virtual instant of the final initialization sweep
+// tick — a strict floor for the init barrier's release (the release adds
+// at least one network latency). Callers seeking the exact first
+// iteration boundary run to this point in bulk (parallel in a sharded
+// run), then Step the remaining handful of events; the resulting event
+// sequence is identical to stepping the whole way.
+func (r *Runner) InitTail() des.Time {
+	// Mirrors startInit's schedule: every rank sweeps the same total at
+	// the same rate, one tick per 50 ms starting at t=0.
+	a := r.apps[0]
+	rate := r.Spec.InitRateMBs * MB
+	total := a.static.Size() + a.arena.Size()
+	tick := 50 * des.Millisecond
+	perTick := uint64(rate * tick.Seconds())
+	if perTick == 0 || perTick >= total {
+		return 0
+	}
+	steps := (total + perTick - 1) / perTick
+	return des.Time(steps-1) * tick
 }
 
 // DurationFor returns a virtual-time budget covering initialization plus
@@ -138,6 +220,7 @@ type app struct {
 	r     *Runner
 	id    int
 	rank  *mpi.Rank
+	eng   *des.Engine // the rank's engine (shard or sequential)
 	space *mem.AddressSpace
 	rng   *rand.Rand
 
@@ -167,6 +250,7 @@ func newApp(r *Runner, id int) (*app, error) {
 		r:     r,
 		id:    id,
 		rank:  r.World.Rank(id),
+		eng:   r.EngineFor(id),
 		space: r.spaces[id],
 		rng:   rand.New(rand.NewPCG(r.Cfg.Seed, uint64(id)+1)),
 	}
@@ -226,12 +310,12 @@ func (a *app) startInit() {
 		a.writeAcross([]span{{a.static.Start(), a.static.Size()}, {a.arena.Start(), a.arena.Size()}}, pos, n)
 		pos += n
 		if pos < total {
-			a.r.Eng.After(tick, step)
+			a.eng.After(tick, step)
 			return
 		}
 		a.rank.Barrier(func() {
 			if a.id == 0 {
-				a.r.iterZero = a.r.Eng.Now()
+				a.r.iterZero = a.eng.Now()
 			}
 			a.startIteration()
 		})
@@ -296,7 +380,7 @@ func (a *app) iterationSpans() []span {
 // communication burst, global reduction, repeat.
 func (a *app) startIteration() {
 	s := a.r.Spec
-	eng := a.r.Eng
+	eng := a.eng
 	period := s.PeriodAt(a.r.Cfg.Ranks)
 	burst := s.BurstDuration(a.r.Cfg.Ranks)
 	iterStart := eng.Now()
@@ -307,8 +391,9 @@ func (a *app) startIteration() {
 
 	// Dynamic applications map their transient arena for the duration
 	// of the processing burst (§4.1: Fortran90 allocates per cycle).
+	// Mapping touches only this rank's space, so the event is local.
 	if s.Dynamic && a.transientBytes > 0 {
-		eng.After(jitter, func() {
+		eng.AfterLocal(jitter, func() {
 			t, err := a.space.Mmap(a.transientBytes)
 			if err != nil {
 				panic(fmt.Sprintf("workload %s: transient mmap: %v", s.Name, err))
@@ -361,13 +446,16 @@ func (a *app) startIteration() {
 				}
 			}
 		}
+		// Sweep ticks write this rank's memory and schedule nothing, so
+		// they are local events: a sharded run excludes them from epoch
+		// horizons, which is what lets shards advance in parallel.
 		for off := des.Time(0); off+tick <= subDur; off += tick {
-			eng.After(start+off+tick, doTick)
+			eng.AfterLocal(start+off+tick, doTick)
 		}
 	}
 
 	// Burst end: drop the transient arena (memory exclusion target).
-	eng.After(jitter+burst, func() {
+	eng.AfterLocal(jitter+burst, func() {
 		if a.transient != nil {
 			if err := a.space.Munmap(a.transient); err != nil {
 				panic(fmt.Sprintf("workload %s: transient munmap: %v", s.Name, err))
@@ -396,7 +484,7 @@ func (a *app) startIteration() {
 // scheduleComm posts this iteration's receives and schedules its sends.
 func (a *app) scheduleComm(iterStart des.Time, burst, period des.Time) {
 	s := a.r.Spec
-	eng := a.r.Eng
+	eng := a.eng
 	n := a.r.Cfg.Ranks
 	right := (a.id + 1) % n
 	slots := max(1, int(a.stripBytes/a.msgBytes))
