@@ -1,12 +1,18 @@
 // Command ckptinspect examines a file-backed checkpoint store: per-rank
 // segment chains, kinds, page counts and sizes, plus the latest
 // consistent coordinated recovery line. With -verify it decodes every
-// segment and checks chain integrity.
+// segment and checks chain integrity. With -multilevel the directory is
+// a multi-level hierarchy (manifest + per-rank L1 stores + L3): the
+// tool prints the parity-group placement over failure domains and, per
+// checkpoint line and rank, which redundancy level can serve (and
+// verify) the segment — local copy, parity rebuild, or global store.
 //
 // Produce a store to inspect with:
 //
-//	ckptinspect -demo -dir /tmp/ckpts     # runs a small protected app first
+//	ckptinspect -demo -dir /tmp/ckpts            # runs a small protected app first
 //	ckptinspect -dir /tmp/ckpts -verify
+//	ckptinspect -demo -multilevel -dir /tmp/ml   # builds a small hierarchy
+//	ckptinspect -multilevel -dir /tmp/ml
 package main
 
 import (
@@ -25,6 +31,7 @@ func main() {
 	dir := flag.String("dir", "", "checkpoint store directory (required)")
 	verify := flag.Bool("verify", false, "decode every segment and check chain integrity")
 	demo := flag.Bool("demo", false, "first populate the store by running LU under coordinated checkpointing")
+	multilevel := flag.Bool("multilevel", false, "inspect a multi-level hierarchy directory (manifest + L1 stores + L3)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -33,6 +40,12 @@ func main() {
 	}
 	if *dir == "" {
 		fail(fmt.Errorf("-dir is required"))
+	}
+	if *multilevel {
+		if err := inspectMultiLevel(*dir, *demo); err != nil {
+			fail(err)
+		}
+		return
 	}
 	store, err := storage.NewFileStore(*dir)
 	if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|rdma|ckptset|trends|all] [-ranks 64] [-seed 7]
+//	figures [-fig 1|2|3|4|5|intrusiveness|pagesize|sinks|compression|adaptive|migration|faults|cluster|chaos|service|rdma|ckptset|multilevel|trends|all] [-ranks 64] [-seed 7]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, ckptset, scaling, trends or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, intrusiveness, pagesize, sinks, faults, cluster, chaos, service, rdma, ckptset, multilevel, scaling, trends or all")
 	ranks := flag.Int("ranks", 64, "MPI ranks")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	shards := flag.Int("shards", 0, "parallel event shards (0 = sequential engine; figure data is identical either way)")
@@ -213,6 +213,15 @@ func main() {
 		}
 		fmt.Println("Ablation: analysis-selected vs whole-data-segment protection (A19), 5 kernels, seeded mid-run crash")
 		fmt.Print(experiments.FormatCkptSet(rows))
+		fmt.Println()
+	}
+	if *fig == "multilevel" || *fig == "all" {
+		rows, err := experiments.MultiLevelAblation(nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: multi-level checkpointing under correlated domain crashes (A21), 8 ranks, scheme x domain size x interval")
+		fmt.Print(experiments.FormatMultiLevel(rows))
 		fmt.Println()
 	}
 	// Excluded from "all": wall-clock numbers are host-dependent, unlike

@@ -24,6 +24,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/mpi"
+	"repro/internal/redundancy"
 	"repro/internal/storage"
 )
 
@@ -178,6 +179,17 @@ type Config struct {
 	// group's serial instants, so the execution — and every digest —
 	// is bit-identical to a sequential run at any shard count.
 	Shards int
+	// MultiLevel, when non-nil, runs the checkpoint hierarchy: ranks
+	// commit to rank-local L1 stores, every committed line is parity-
+	// protected across ranks by the configured erasure scheme (L2), and
+	// the global store (Store/Sink above) becomes the L3 tier written
+	// only every GlobalEvery lines. Failures wipe the victims' L1
+	// stores; recovery reads through the tiers — L1, L2 rebuild, L3 —
+	// with per-level accounting in the report. The chaos DSL's
+	// domain-crash fault kills whole failure domains at once.
+	// Incompatible with TwoPhaseCommit (the commit marker is a global-
+	// store protocol).
+	MultiLevel *MultiLevelOptions
 }
 
 // SpecBound is the optional Computation extension that ties a rank's
@@ -239,6 +251,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("autonomic: grid %dx%d", c.Nx, c.RowsPerRank)
 	case c.Iterations < 1 || c.CkptEvery < 1:
 		return fmt.Errorf("autonomic: iterations %d / ckpt every %d", c.Iterations, c.CkptEvery)
+	case c.MultiLevel != nil && c.TwoPhaseCommit:
+		return fmt.Errorf("autonomic: MultiLevel is incompatible with TwoPhaseCommit")
 	}
 	return nil
 }
@@ -352,6 +366,36 @@ type Report struct {
 	// protocol reconciles the silent set before every line, holding
 	// this at zero; naive Direct does not.
 	CheckpointSilentBytes uint64
+	// Multi-level checkpointing (Config.MultiLevel). DomainCrashes
+	// counts correlated whole-domain failures the chaos plan injected;
+	// ParityEncodeFailures, lines left without L2 protection because
+	// the parity exchange failed; InjectedParityCorruptions, parity
+	// shards the chaos schedule bit-flipped at rest.
+	DomainCrashes             int
+	ParityEncodeFailures      int
+	InjectedParityCorruptions int
+	// ParityVolumeMB is the parity payload exchanged between partners;
+	// L2ExchangeTime its cumulative link cost (part of the commit
+	// pause under multi-level).
+	ParityVolumeMB float64
+	L2ExchangeTime des.Time
+	// LevelReadBytes/LevelReadTime break every recovery's reads down by
+	// tier (indexed by redundancy.LevelLocal/LevelParity/LevelGlobal) —
+	// the per-level accounting the A21 ablation plots. A recovery that
+	// never touches LevelGlobal restored entirely from local chains and
+	// partner parity.
+	LevelReadBytes [redundancy.LevelCount]uint64
+	LevelReadTime  [redundancy.LevelCount]des.Time
+	// ParityRebuilds counts segments reconstructed from surviving
+	// shards; ParityRebuildFailures, rebuild attempts that fell through
+	// to L3; CorruptParityShards, shards the frame CRC rejected;
+	// ParityRepairs/ParityRepairFailures, read-repair write-backs of
+	// rebuilt segments onto the owner's L1 (and the best-effort misses).
+	ParityRebuilds        uint64
+	ParityRebuildFailures uint64
+	CorruptParityShards   uint64
+	ParityRepairs         uint64
+	ParityRepairFailures  uint64
 }
 
 // MeanDetectionLatency averages the measured detection latencies
@@ -405,6 +449,15 @@ type Supervisor struct {
 	report       Report
 	failed       error
 
+	// Multi-level checkpointing state (nil/unused without
+	// Config.MultiLevel). mlRng is a dedicated stream for parity-
+	// corruption injection so the failure rng's draw sequence stays
+	// bit-identical to legacy runs. pendingVictims is the rank set a
+	// domain crash preloaded for the next failure event.
+	ml             *redundancy.Hierarchy
+	mlRng          *rand.Rand
+	pendingVictims []int
+
 	// Failure/recovery state machine. Failures are re-armed from the
 	// failure instant, so a second failure can land while detection or
 	// recovery of the first is still in progress (nested failures).
@@ -421,6 +474,13 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.MultiLevel != nil {
+		opts, err := cfg.MultiLevel.withDefaults(cfg.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MultiLevel = &opts
 	}
 	store := cfg.Store
 	if store == nil {
@@ -446,6 +506,11 @@ func Run(cfg Config) (*Report, error) {
 		rng:        rand.New(rand.NewPCG(cfg.Seed, 0xA57)),
 		lineIter:   make(map[uint64]int),
 		wastedSeqs: make(map[uint64]bool),
+	}
+	if cfg.MultiLevel != nil {
+		if err := s.buildHierarchy(store); err != nil {
+			return nil, err
+		}
 	}
 	t, err := s.buildTeam(nil, 0)
 	if err != nil {
@@ -516,12 +581,19 @@ func (s *Supervisor) buildTeam(spaces []*mem.AddressSpace, startIter int) (*team
 		registerRDMA(t)
 	}
 	for i := 0; i < cfg.Ranks; i++ {
-		c, err := ckpt.NewCheckpointer(s.eng, spaces[i], ckpt.Options{
+		opts := ckpt.Options{
 			Rank:     i,
-			Store:    s.store,
+			Store:    s.rankStore(i),
 			Sink:     cfg.Sink,
 			StartSeq: s.nextSeq,
-		})
+		}
+		if cfg.MultiLevel != nil {
+			// Under multi-level the commit pause is a *local* device
+			// write: ranks persist to their own L1, not the shared sink.
+			opts.Sink = cfg.MultiLevel.LocalSink
+			opts.FullEvery = cfg.MultiLevel.FullEvery
+		}
+		c, err := ckpt.NewCheckpointer(s.eng, spaces[i], opts)
 		if err != nil {
 			return nil, err
 		}
@@ -622,13 +694,32 @@ func (s *Supervisor) commitLine(t *team, iter int, cont func()) {
 		cont()
 		return
 	}
-	s.nextSeq = g.PerRank[0].Seq + 1
+	seq := g.PerRank[0].Seq
+	s.nextSeq = seq + 1
 	s.lastLineIter = iter
-	s.lineIter[g.PerRank[0].Seq] = iter
+	s.lineIter[seq] = iter
 	s.report.CommittedLines++
 	s.report.CheckpointVolumeMB += float64(g.TotalPageBytes) / 1e6
 	s.report.CommitTime += g.MaxDuration
-	s.eng.After(g.MaxDuration, cont)
+	// A chaos plan may aim a correlated domain crash inside the commit
+	// pause: the line's segments are on L1 but its parity exchange has
+	// not resolved, so the newest line is exactly as exposed as a real
+	// mid-commit loss would leave it.
+	if s.cfg.Chaos != nil {
+		if name, delay, hit := s.cfg.Chaos.DomainCrashDelay(s.eng.Now(), s.eng.Now()+g.MaxDuration); hit {
+			s.eng.After(delay, func() { s.domainCrash(name) })
+		}
+	}
+	if s.ml == nil {
+		s.eng.After(g.MaxDuration, cont)
+		return
+	}
+	s.eng.After(g.MaxDuration, func() {
+		if s.cur != t || s.detecting {
+			return
+		}
+		s.protectLine(t, seq, cont)
+	})
 }
 
 // beginTwoPhase runs one prepare/commit checkpoint round for the current
@@ -753,10 +844,18 @@ func (s *Supervisor) onFailure() {
 	}
 	s.report.FailureLog = append(s.report.FailureLog, ev)
 
+	// Resolve the victims now, wiping their L1 stores under multi-level
+	// — the node-local device dies with the node, before any detection
+	// or recovery gets to look at it.
+	victims := s.takeVictims()
+	if s.failed != nil {
+		return
+	}
+
 	if s.detecting {
 		// The job is already stalled waiting on the first death to be
 		// detected; this failure takes another of the survivors.
-		s.killAnother(s.cur)
+		s.killAnother(s.cur, victims)
 		return
 	}
 	if s.cur == nil {
@@ -791,9 +890,14 @@ func (s *Supervisor) onFailure() {
 		c.Stop()
 	}
 	if t.det != nil {
-		victim := s.rng.IntN(s.cfg.Ranks)
-		if live := t.det.MarkFailed(victim); live == 0 {
-			s.abandonDetection(t)
+		if len(victims) == 0 {
+			victims = []int{s.rng.IntN(s.cfg.Ranks)}
+		}
+		for _, v := range victims {
+			if live := t.det.MarkFailed(v); live == 0 {
+				s.abandonDetection(t)
+				return
+			}
 		}
 		return // a survivor's timeout will fire onDetected
 	}
@@ -801,9 +905,22 @@ func (s *Supervisor) onFailure() {
 }
 
 // killAnother fails one more live rank of a team already under
-// detection. Detection of the first death continues — unless nobody is
+// detection (or, under multi-level, the preset victim set of a domain
+// crash). Detection of the first death continues — unless nobody is
 // left alive to observe anything.
-func (s *Supervisor) killAnother(t *team) {
+func (s *Supervisor) killAnother(t *team, victims []int) {
+	if len(victims) > 0 {
+		for _, v := range victims {
+			if t.det.Failed(v) {
+				continue
+			}
+			if live := t.det.MarkFailed(v); live == 0 {
+				s.abandonDetection(t)
+				return
+			}
+		}
+		return
+	}
 	start := s.rng.IntN(s.cfg.Ranks)
 	for i := 0; i < s.cfg.Ranks; i++ {
 		v := (start + i) % s.cfg.Ranks
@@ -853,6 +970,11 @@ func (s *Supervisor) onDetected(t *team, d cluster.Detection) {
 // otherwise — before any data is touched. A recovery is degraded when
 // the line it actually restores falls short of this claim.
 func (s *Supervisor) claimedSeq() (uint64, bool, error) {
+	if s.ml != nil {
+		// The hierarchy's claim spans all three tiers: the recovery view
+		// advertises surviving L1 chains, parity-covered lines and L3.
+		return ckpt.LatestConsistentSeq(s.ml.NewView(), s.cfg.Ranks)
+	}
 	if !s.cfg.TwoPhaseCommit {
 		return ckpt.LatestConsistentSeq(s.store, s.cfg.Ranks)
 	}
@@ -903,6 +1025,9 @@ func (s *Supervisor) scheduleRecovery(failIter int) {
 // Returns nil spaces when no line survives (scratch restart), plus the
 // virtual time the winning chain read costs.
 func (s *Supervisor) selectAndRestore() (spaces []*mem.AddressSpace, line uint64, ok bool, readTime des.Time) {
+	if s.ml != nil {
+		return s.selectAndRestoreTiered()
+	}
 	// Under two-phase commit only lines with a verified COMMIT marker
 	// may be trusted; otherwise the newest fully verifiable line wins.
 	latest := ckpt.LatestVerifiableSeq

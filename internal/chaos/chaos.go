@@ -69,6 +69,13 @@ const (
 	// Count consumes one drain round — the adversarial instants for the
 	// drain/re-register state machine.
 	DrainCrash
+	// DomainCrash kills every rank of a named failure domain mid-commit:
+	// the first checkpoint-commit pause that opens inside the spec's
+	// window draws a seeded kill instant inside the pause, before the
+	// line's parity shards finish placing — the correlated loss a
+	// multi-level hierarchy's domain-disjoint placement must absorb.
+	// Each Count consumes one commit round.
+	DomainCrash
 )
 
 // String names the kind the way the schedule language spells it.
@@ -90,6 +97,8 @@ func (k Kind) String() string {
 		return "bitflip"
 	case DrainCrash:
 		return "crash-during-drain"
+	case DomainCrash:
+		return "domain-crash"
 	default:
 		return fmt.Sprintf("chaos.Kind(%d)", k)
 	}
@@ -130,6 +139,9 @@ type Spec struct {
 	// Phase is the drain-protocol phase token a DrainCrash targets
 	// (one of mpi's drain phase names, e.g. "deregister").
 	Phase string
+	// Domain names the failure domain a DomainCrash kills (a domain
+	// name from the run's cluster.DomainMap, e.g. "d1").
+	Domain string
 }
 
 // Schedule is a declarative list of fault specs — the unit that parses,
@@ -147,7 +159,7 @@ func (s *Schedule) Validate() error {
 	for i, sp := range s.Specs {
 		prefix := fmt.Sprintf("chaos: spec %d (%s)", i, sp.Kind)
 		switch {
-		case sp.Kind > DrainCrash:
+		case sp.Kind > DomainCrash:
 			return fmt.Errorf("chaos: spec %d: unknown kind %d", i, sp.Kind)
 		case sp.From < 0 || sp.To < sp.From:
 			return fmt.Errorf("%s: window [%v, %v] is not ordered and non-negative", prefix, sp.From, sp.To)
@@ -172,6 +184,13 @@ func (s *Schedule) Validate() error {
 		case DrainCrash:
 			if _, err := mpi.ParseDrainPhase(sp.Phase); err != nil {
 				return fmt.Errorf("%s: %w", prefix, err)
+			}
+		case DomainCrash:
+			if sp.To == sp.From {
+				return fmt.Errorf("%s: needs a non-empty window to catch a commit round", prefix)
+			}
+			if sp.Domain == "" {
+				return fmt.Errorf("%s: needs a domain name (domain <name>)", prefix)
 			}
 		}
 	}

@@ -30,9 +30,10 @@ storage-outage at 7s..8s
 storage-brownout at 2s..10s rate 0.5
 bitflip at 1200ms..5s count 4
 crash-during-drain at 1s..20s phase deregister count 2
+domain-crash at 5s..20s domain d1
 `)
-	if len(s.Specs) != 8 {
-		t.Fatalf("parsed %d specs, want 8", len(s.Specs))
+	if len(s.Specs) != 9 {
+		t.Fatalf("parsed %d specs, want 9", len(s.Specs))
 	}
 	sp := s.Specs[0]
 	if sp.Kind != Crash || sp.From != 2*des.Second || sp.To != 8*des.Second ||
@@ -47,6 +48,9 @@ crash-during-drain at 1s..20s phase deregister count 2
 	}
 	if s.Specs[7].Kind != DrainCrash || s.Specs[7].Phase != "deregister" || s.Specs[7].Count != 2 {
 		t.Fatalf("crash-during-drain spec = %+v", s.Specs[7])
+	}
+	if s.Specs[8].Kind != DomainCrash || s.Specs[8].Domain != "d1" {
+		t.Fatalf("domain-crash spec = %+v", s.Specs[8])
 	}
 }
 
@@ -304,6 +308,44 @@ func TestCommitCrashDelayConsumesWindows(t *testing.T) {
 	}
 }
 
+// A domain-crash window fires once per planned round, carries its domain
+// name through compilation, and draws its kill instant strictly inside
+// the commit pause.
+func TestDomainCrashDelayConsumesWindows(t *testing.T) {
+	s := mustParse(t, "domain-crash at 1s..10s domain d1 count 2")
+	p, err := s.Compile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DomainCrashes) != 2 || p.DomainCrashes[0].Domain != "d1" {
+		t.Fatalf("plan domain crashes: %+v", p.DomainCrashes)
+	}
+	d := NewDriver(des.NewEngine(), p)
+	if _, _, ok := d.DomainCrashDelay(500*des.Millisecond, des.Second); ok {
+		t.Fatal("kill outside the window")
+	}
+	now, end := 2*des.Second, 4*des.Second
+	name, delay, ok := d.DomainCrashDelay(now, end)
+	if !ok || name != "d1" || delay < 0 || now+delay >= end {
+		t.Fatalf("first round: name=%q delay=%v ok=%v", name, delay, ok)
+	}
+	if name, _, ok := d.DomainCrashDelay(now, end); !ok || name != "d1" {
+		t.Fatal("second planned round not consumed")
+	}
+	if _, _, ok := d.DomainCrashDelay(now, end); ok {
+		t.Fatal("third round killed with only two planned")
+	}
+	if d.Stats().DomainCrashes != 2 {
+		t.Fatalf("stats = %+v, want 2 domain crashes", d.Stats())
+	}
+	// A degenerate pause (end <= now) still kills, at delay zero.
+	p2, _ := mustParse(t, "domain-crash at 1s..10s domain rack0").Compile(9)
+	d2 := NewDriver(des.NewEngine(), p2)
+	if name, delay, ok := d2.DomainCrashDelay(now, now); !ok || name != "rack0" || delay != 0 {
+		t.Fatalf("degenerate pause: name=%q delay=%v ok=%v", name, delay, ok)
+	}
+}
+
 // A drain-crash window fires once per planned round, only for its own
 // phase, only inside its window.
 func TestDrainCrashHitConsumesWindows(t *testing.T) {
@@ -350,6 +392,10 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("crash-during-drain at 1s..20s phase deregister count 2")
 	f.Add("crash-during-drain at 1s..2s phase warp")
 	f.Add("crash-during-drain at 1s..2s")
+	f.Add("domain-crash at 5s..20s domain d1")
+	f.Add("domain-crash at 5s..20s domain d1 count 2 jitter 100ms")
+	f.Add("domain-crash at 5s..20s")
+	f.Add("domain-crash at 5s..5s domain d0")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseSchedule(text)
 		if err != nil {

@@ -31,6 +31,14 @@ type DrainCrashWindow struct {
 	Phase mpi.DrainPhase
 }
 
+// DomainCrashWindow is a correlated kill: the first checkpoint-commit
+// pause opening inside the window takes every rank of the named failure
+// domain with it, at a seeded instant inside the pause.
+type DomainCrashWindow struct {
+	Window
+	Domain string
+}
+
 // Plan is a compiled schedule: every seeded draw resolved against one
 // seed, leaving only concrete virtual-time events and windows. Plans are
 // immutable once compiled; a Driver consumes one.
@@ -56,6 +64,9 @@ type Plan struct {
 	// DrainCrashes are windows inside which RDMA drain rounds are killed
 	// at a named phase's entry, one round per entry.
 	DrainCrashes []DrainCrashWindow
+	// DomainCrashes are windows inside which checkpoint-commit rounds
+	// kill a whole failure domain mid-commit, one round per entry.
+	DomainCrashes []DomainCrashWindow
 }
 
 // Horizon returns the virtual time after which the plan injects nothing
@@ -88,6 +99,9 @@ func (p *Plan) Horizon() des.Time {
 	for _, w := range p.DrainCrashes {
 		grow(w.To)
 	}
+	for _, w := range p.DomainCrashes {
+		grow(w.To)
+	}
 	return h
 }
 
@@ -96,7 +110,7 @@ func (p *Plan) Horizon() des.Time {
 func (p *Plan) Events() int {
 	return len(p.Crashes) + len(p.CommitCrashes) + len(p.BitFlips) +
 		len(p.NetWindows) + len(p.Outages) + len(p.Brownouts) +
-		len(p.DrainCrashes)
+		len(p.DrainCrashes) + len(p.DomainCrashes)
 }
 
 // Compile resolves the schedule's seeded draws into a Plan. The same
@@ -183,6 +197,11 @@ func (s *Schedule) Compile(seed uint64) (*Plan, error) {
 			w := shiftWindow(sp, base(sp))
 			for i := 0; i < count; i++ {
 				p.DrainCrashes = append(p.DrainCrashes, DrainCrashWindow{Window: w, Phase: phase})
+			}
+		case DomainCrash:
+			w := shiftWindow(sp, base(sp))
+			for i := 0; i < count; i++ {
+				p.DomainCrashes = append(p.DomainCrashes, DomainCrashWindow{Window: w, Domain: sp.Domain})
 			}
 		default:
 			return nil, fmt.Errorf("chaos: compile: unknown kind %d", sp.Kind)

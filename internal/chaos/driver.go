@@ -18,6 +18,9 @@ type Stats struct {
 	CommitCrashes int
 	// DrainCrashes counts drain rounds killed at a phase entry.
 	DrainCrashes int
+	// DomainCrashes counts commit rounds that took a whole failure
+	// domain down mid-commit.
+	DomainCrashes int
 	// BitFlips counts stored payloads corrupted; BitFlipMisses counts
 	// flip instants that found nothing to corrupt (empty store or a
 	// store that refused the read-modify-write).
@@ -39,6 +42,7 @@ type Driver struct {
 	stats      Stats
 	commitUsed []bool
 	drainUsed  []bool
+	domainUsed []bool
 	flipTarget storage.Store
 }
 
@@ -54,6 +58,7 @@ func NewDriver(eng *des.Engine, plan *Plan) *Driver {
 		rng:        rand.New(rand.NewPCG(plan.Seed, 0xD21F)),
 		commitUsed: make([]bool, len(plan.CommitCrashes)),
 		drainUsed:  make([]bool, len(plan.DrainCrashes)),
+		domainUsed: make([]bool, len(plan.DomainCrashes)),
 	}
 }
 
@@ -101,6 +106,29 @@ func (d *Driver) CommitCrashDelay(now, lastAck des.Time) (des.Time, bool) {
 		return des.Time(d.rng.Float64() * float64(span)), true
 	}
 	return 0, false
+}
+
+// DomainCrashDelay asks whether a checkpoint-commit pause opening at now
+// and resolving at pauseEnd should take a whole failure domain with it.
+// It consumes at most one planned domain-crash window per call and
+// returns the domain's name plus a seeded delay strictly inside
+// [0, pauseEnd-now) — mid-commit, before the line's parity placement
+// lands — so the correlated loss hits the hierarchy at its most
+// adversarial instant.
+func (d *Driver) DomainCrashDelay(now, pauseEnd des.Time) (string, des.Time, bool) {
+	for i, w := range d.plan.DomainCrashes {
+		if d.domainUsed[i] || !w.contains(now) {
+			continue
+		}
+		d.domainUsed[i] = true
+		d.stats.DomainCrashes++
+		span := pauseEnd - now
+		if span <= 0 {
+			return w.Domain, 0, true
+		}
+		return w.Domain, des.Time(d.rng.Float64() * float64(span)), true
+	}
+	return "", 0, false
 }
 
 // DrainCrashHit asks whether the drain protocol's entry into phase p at

@@ -20,10 +20,11 @@ import (
 //	storage-brownout at 2s..10s rate 0.5
 //	bitflip at 1200ms..5s count 4
 //	crash-during-drain at 1s..20s phase deregister
+//	domain-crash at 5s..20s domain d1
 //
 // Every line is "<kind> at <from>..<to>" followed by optional key/value
 // pairs (jitter <dur>, count <n>, group <name>, drop <p>, slow <x>,
-// rate <p>, phase <name>). Durations use Go syntax ("1.5s", "300ms") and denote
+// rate <p>, phase <name>, domain <name>). Durations use Go syntax ("1.5s", "300ms") and denote
 // virtual time. ParseSchedule returns a typed error naming the offending
 // line for any malformed input; it never panics, however hostile the
 // bytes (FuzzParseSchedule holds it to that).
@@ -38,6 +39,7 @@ var kindNames = map[string]Kind{
 	"storage-brownout":   StorageBrownout,
 	"bitflip":            BitFlip,
 	"crash-during-drain": DrainCrash,
+	"domain-crash":       DomainCrash,
 }
 
 // ParseSchedule parses the schedule language and validates the result.
@@ -120,6 +122,8 @@ func parseSpec(fields []string) (Spec, error) {
 			}
 		case "phase":
 			sp.Phase = val
+		case "domain":
+			sp.Domain = val
 		default:
 			return sp, fmt.Errorf("%s: unknown option %q", fields[0], key)
 		}

@@ -65,7 +65,8 @@ func SegmentKey(rank int, seq uint64) string {
 }
 
 // ParseSegmentKey parses a store key of the form "rankNNN/segNNNNNN",
-// the layout written by Checkpointer.Checkpoint.
+// the layout written by Checkpointer.Checkpoint. Either out-pointer may
+// be nil when the caller only needs the other field (or just the match).
 func ParseSegmentKey(key string, rank *int, seq *uint64) bool {
 	parts := strings.Split(key, "/")
 	if len(parts) != 2 || !strings.HasPrefix(parts[0], "rank") || !strings.HasPrefix(parts[1], "seg") {
@@ -79,8 +80,12 @@ func ParseSegmentKey(key string, rank *int, seq *uint64) bool {
 	if err != nil {
 		return false
 	}
-	*rank = r
-	*seq = s
+	if rank != nil {
+		*rank = r
+	}
+	if seq != nil {
+		*seq = s
+	}
 	return true
 }
 

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Failure domains: the correlated-failure unit the multi-level
+// checkpoint hierarchy plans around. A domain groups ranks that die
+// together — the processes of one node, the nodes of one rack, the
+// racks behind one PDU. Parity-group placement (internal/redundancy)
+// consults the map so that no two shards of a group land in one domain,
+// and the chaos DSL's domain-crash fault kills every rank of a named
+// domain at once.
+
+// DomainMap assigns every rank to exactly one named failure domain.
+type DomainMap struct {
+	names []string // domain index → name
+	of    []int    // rank → domain index
+}
+
+// NewDomainMap builds a uniform map: ranks are grouped into consecutive
+// domains of the given size (the last domain may be smaller), named
+// "d0", "d1", ... A size of 1 models independent node failures; larger
+// sizes model racks or chassis whose members share fate.
+func NewDomainMap(ranks, domainSize int) (*DomainMap, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("cluster: domain map needs at least one rank, got %d", ranks)
+	}
+	if domainSize < 1 {
+		return nil, fmt.Errorf("cluster: domain size %d must be positive", domainSize)
+	}
+	m := &DomainMap{of: make([]int, ranks)}
+	for r := 0; r < ranks; r++ {
+		d := r / domainSize
+		for d >= len(m.names) {
+			m.names = append(m.names, fmt.Sprintf("d%d", len(m.names)))
+		}
+		m.of[r] = d
+	}
+	return m, nil
+}
+
+// DomainMapFromGroups builds a map from explicit name → member-ranks
+// groups. Every rank in [0, ranks) must appear in exactly one group.
+func DomainMapFromGroups(ranks int, groups map[string][]int) (*DomainMap, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("cluster: domain map needs at least one rank, got %d", ranks)
+	}
+	m := &DomainMap{of: make([]int, ranks)}
+	for i := range m.of {
+		m.of[i] = -1
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if strings.TrimSpace(name) == "" || strings.ContainsAny(name, " \t\n") {
+			return nil, fmt.Errorf("cluster: invalid domain name %q", name)
+		}
+		d := len(m.names)
+		m.names = append(m.names, name)
+		for _, r := range groups[name] {
+			if r < 0 || r >= ranks {
+				return nil, fmt.Errorf("cluster: domain %q lists rank %d outside [0, %d)", name, r, ranks)
+			}
+			if m.of[r] != -1 {
+				return nil, fmt.Errorf("cluster: rank %d assigned to both %q and %q", r, m.names[m.of[r]], name)
+			}
+			m.of[r] = d
+		}
+	}
+	for r, d := range m.of {
+		if d == -1 {
+			return nil, fmt.Errorf("cluster: rank %d belongs to no domain", r)
+		}
+	}
+	return m, nil
+}
+
+// Ranks returns the number of ranks the map covers.
+func (m *DomainMap) Ranks() int { return len(m.of) }
+
+// Domains returns the number of distinct failure domains.
+func (m *DomainMap) Domains() int { return len(m.names) }
+
+// Of returns the domain index of a rank.
+func (m *DomainMap) Of(rank int) int {
+	if rank < 0 || rank >= len(m.of) {
+		return -1
+	}
+	return m.of[rank]
+}
+
+// Name returns the name of a domain index.
+func (m *DomainMap) Name(d int) string {
+	if d < 0 || d >= len(m.names) {
+		return ""
+	}
+	return m.names[d]
+}
+
+// Index returns the index of a named domain; ok is false for unknown
+// names.
+func (m *DomainMap) Index(name string) (int, bool) {
+	for d, n := range m.names {
+		if n == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// Members returns the ranks of a domain, ascending.
+func (m *DomainMap) Members(d int) []int {
+	var out []int
+	for r, dd := range m.of {
+		if dd == d {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MaxDomainSize returns the size of the largest domain — the worst-case
+// correlated loss the placement must survive.
+func (m *DomainMap) MaxDomainSize() int {
+	counts := make([]int, len(m.names))
+	for _, d := range m.of {
+		counts[d]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

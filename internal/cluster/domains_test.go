@@ -1,0 +1,91 @@
+package cluster
+
+import "testing"
+
+func TestNewDomainMapUniform(t *testing.T) {
+	m, err := NewDomainMap(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks() != 8 || m.Domains() != 4 || m.MaxDomainSize() != 2 {
+		t.Fatalf("map = %d ranks, %d domains, max %d", m.Ranks(), m.Domains(), m.MaxDomainSize())
+	}
+	for r := 0; r < 8; r++ {
+		if got, want := m.Of(r), r/2; got != want {
+			t.Fatalf("Of(%d) = %d, want %d", r, got, want)
+		}
+	}
+	if m.Name(1) != "d1" {
+		t.Fatalf("Name(1) = %q", m.Name(1))
+	}
+	if d, ok := m.Index("d3"); !ok || d != 3 {
+		t.Fatalf("Index(d3) = %d, %v", d, ok)
+	}
+	if _, ok := m.Index("rack9"); ok {
+		t.Fatal("unknown domain resolved")
+	}
+	got := m.Members(2)
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Members(2) = %v", got)
+	}
+	if m.Of(-1) != -1 || m.Of(8) != -1 || m.Name(9) != "" {
+		t.Fatal("out-of-range lookups did not fail soft")
+	}
+}
+
+func TestNewDomainMapRaggedTail(t *testing.T) {
+	m, err := NewDomainMap(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Domains() != 3 || m.MaxDomainSize() != 2 {
+		t.Fatalf("map = %d domains, max %d", m.Domains(), m.MaxDomainSize())
+	}
+	if got := m.Members(2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("tail domain members = %v", got)
+	}
+}
+
+func TestNewDomainMapRejects(t *testing.T) {
+	if _, err := NewDomainMap(0, 1); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewDomainMap(4, 0); err == nil {
+		t.Fatal("zero domain size accepted")
+	}
+}
+
+func TestDomainMapFromGroups(t *testing.T) {
+	m, err := DomainMapFromGroups(4, map[string][]int{
+		"rack1": {2, 3},
+		"rack0": {0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names sort, so rack0 is domain 0 regardless of map iteration order.
+	if m.Name(0) != "rack0" || m.Name(1) != "rack1" {
+		t.Fatalf("names = %q, %q", m.Name(0), m.Name(1))
+	}
+	if m.Of(0) != 0 || m.Of(3) != 1 {
+		t.Fatalf("of = %d, %d", m.Of(0), m.Of(3))
+	}
+}
+
+func TestDomainMapFromGroupsRejects(t *testing.T) {
+	cases := map[string]map[string][]int{
+		"uncovered rank":  {"a": {0, 1}, "b": {2}},
+		"double assigned": {"a": {0, 1}, "b": {1, 2, 3}},
+		"out of range":    {"a": {0, 1}, "b": {2, 4}},
+		"blank name":      {"": {0, 1}, "b": {2, 3}},
+		"spaced name":     {"a b": {0, 1}, "c": {2, 3}},
+	}
+	for name, groups := range cases {
+		if _, err := DomainMapFromGroups(4, groups); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := DomainMapFromGroups(0, nil); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}

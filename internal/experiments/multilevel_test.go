@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/redundancy"
+)
+
+// TestMultiLevelAblation pins the A21 headline on a reduced sweep (one
+// seed): every cell replays its correlated domain crash bit-exactly;
+// the coded schemes rebuild the lost domain's chains from partner
+// parity with zero global-store reads, while the scheme=none baseline
+// must read L3; and domain size 2 — two simultaneous rank losses —
+// stays within the coded schemes' capacity.
+func TestMultiLevelAblation(t *testing.T) {
+	rows, err := MultiLevelAblation([]uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Completed != r.Runs {
+			t.Errorf("%s dom=%d every=%d: %d/%d completed", r.Scheme, r.DomainSize, r.CkptEvery, r.Completed, r.Runs)
+			continue
+		}
+		if !r.BitExact {
+			t.Errorf("%s dom=%d every=%d: not bit-exact", r.Scheme, r.DomainSize, r.CkptEvery)
+		}
+		if r.DomainCrashes == 0 || r.RanksLost < r.DomainCrashes*r.DomainSize {
+			t.Errorf("%s dom=%d every=%d: no correlated loss injected: %+v", r.Scheme, r.DomainSize, r.CkptEvery, r)
+		}
+		if r.MeanDowntime <= 0 {
+			t.Errorf("%s dom=%d every=%d: zero downtime", r.Scheme, r.DomainSize, r.CkptEvery)
+		}
+		if r.Scheme == "none" {
+			if r.Rebuilds != 0 || r.ParityMB != 0 {
+				t.Errorf("none dom=%d: parity activity %d rebuilds %.2f MB", r.DomainSize, r.Rebuilds, r.ParityMB)
+			}
+			if r.ZeroGlobal || r.LevelBytes[redundancy.LevelGlobal] == 0 {
+				t.Errorf("none dom=%d: lost chains must come from L3: %+v", r.DomainSize, r.LevelBytes)
+			}
+		} else {
+			if !r.ZeroGlobal || r.LevelBytes[redundancy.LevelGlobal] != 0 {
+				t.Errorf("%s dom=%d: recovery touched L3: %+v", r.Scheme, r.DomainSize, r.LevelBytes)
+			}
+			if r.Rebuilds == 0 || r.LevelBytes[redundancy.LevelParity] == 0 {
+				t.Errorf("%s dom=%d: no parity rebuilds: %+v", r.Scheme, r.DomainSize, r)
+			}
+			if r.ParityMB == 0 || r.L2Exchange == 0 {
+				t.Errorf("%s dom=%d: parity exchange not accounted", r.Scheme, r.DomainSize)
+			}
+		}
+	}
+	table := FormatMultiLevel(rows)
+	if !strings.Contains(table, "zeroL3") || !strings.Contains(table, "rs 2+2") {
+		t.Fatalf("table missing columns:\n%s", table)
+	}
+}

@@ -81,6 +81,17 @@ func (n Network) copyTime(bytes uint64) des.Time {
 	return des.Time(float64(bytes) / n.CopyBandwidth * float64(des.Second))
 }
 
+// TransferTime returns the wire time for n bytes — one latency plus the
+// serialization delay at peak bandwidth. Exported for cost accounting by
+// layers (e.g. parity-shard exchange in internal/redundancy) that model
+// traffic on this link without routing it through a World.
+func (n Network) TransferTime(bytes uint64) des.Time { return n.transfer(bytes) }
+
+// CopyTime returns the CPU memcpy time for n bytes at the bounce-copy
+// rate; zero when CopyBandwidth is unset. Direct (RDMA) transfers skip
+// this cost.
+func (n Network) CopyTime(bytes uint64) des.Time { return n.copyTime(bytes) }
+
 // Message describes a delivered point-to-point message.
 type Message struct {
 	Src, Dst int

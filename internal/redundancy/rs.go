@@ -1,0 +1,263 @@
+package redundancy
+
+import (
+	"fmt"
+)
+
+// Systematic Reed-Solomon over GF(2^8), polynomial 0x11d (the field
+// every production erasure coder uses — Plank's tutorial lineage). The
+// generator matrix is a (k+m)×k Vandermonde matrix transformed so its
+// top k×k block is the identity: encoding leaves data shards unchanged
+// and computes m parity shards; reconstruction inverts the k×k submatrix
+// of surviving rows and re-multiplies to recover what was lost.
+
+// gfExp/gfLog are the exponential and logarithm tables of GF(2^8) with
+// generator 2. gfExp is doubled so products of two logs index without a
+// mod-255 reduction.
+var gfExp [510]byte
+var gfLog [256]byte
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("redundancy: GF(2^8) inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfMatMul computes out = mat · shardsIn, where mat is rows×cols and
+// shardsIn holds cols shards of shardLen bytes.
+func gfMatMul(mat [][]byte, shardsIn [][]byte, out [][]byte, shardLen int) {
+	for r := range mat {
+		dst := out[r]
+		for i := 0; i < shardLen; i++ {
+			dst[i] = 0
+		}
+		for c, coef := range mat[r] {
+			if coef == 0 {
+				continue
+			}
+			src := shardsIn[c]
+			if coef == 1 {
+				for i := 0; i < shardLen; i++ {
+					dst[i] ^= src[i]
+				}
+				continue
+			}
+			logC := int(gfLog[coef])
+			for i := 0; i < shardLen; i++ {
+				if src[i] != 0 {
+					dst[i] ^= gfExp[logC+int(gfLog[src[i]])]
+				}
+			}
+		}
+	}
+}
+
+// gfInvertMatrix inverts a k×k matrix in place via Gauss-Jordan,
+// returning the inverse. Fails only if the matrix is singular — which a
+// Vandermonde-derived submatrix never is for distinct evaluation points.
+func gfInvertMatrix(mat [][]byte) ([][]byte, error) {
+	k := len(mat)
+	work := make([][]byte, k)
+	inv := make([][]byte, k)
+	for i := range work {
+		work[i] = append([]byte(nil), mat[i]...)
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("redundancy: singular decode matrix at column %d", col)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		scale := gfInv(work[col][col])
+		for c := 0; c < k; c++ {
+			work[col][c] = gfMul(work[col][c], scale)
+			inv[col][c] = gfMul(inv[col][c], scale)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for c := 0; c < k; c++ {
+				work[r][c] ^= gfMul(f, work[col][c])
+				inv[r][c] ^= gfMul(f, inv[col][c])
+			}
+		}
+	}
+	return inv, nil
+}
+
+type rsCodec struct {
+	k, m int
+	// gen is the full (k+m)×k systematic generator matrix: identity on
+	// top, parity coefficient rows below.
+	gen [][]byte
+}
+
+func newRSCodec(k, m int) (*rsCodec, error) {
+	if k < 1 || m < 1 || k+m > 255 {
+		return nil, fmt.Errorf("redundancy: rs(%d+%d) outside GF(2^8) limits", k, m)
+	}
+	// Vandermonde rows: row r = [r^0, r^1, ..., r^(k-1)] for r in
+	// [0, k+m), with 0^0 = 1. Distinct evaluation points make every k×k
+	// submatrix invertible once the top block is normalized to identity.
+	vand := make([][]byte, k+m)
+	for r := range vand {
+		vand[r] = make([]byte, k)
+		p := byte(1)
+		for c := 0; c < k; c++ {
+			vand[r][c] = p
+			p = gfMul(p, byte(r))
+		}
+	}
+	top := make([][]byte, k)
+	for i := range top {
+		top[i] = vand[i]
+	}
+	topInv, err := gfInvertMatrix(top)
+	if err != nil {
+		return nil, err
+	}
+	// gen = vand · topInv: top k rows become identity, so the code is
+	// systematic; the bottom m rows are the parity coefficients.
+	gen := make([][]byte, k+m)
+	for r := range gen {
+		gen[r] = make([]byte, k)
+		for c := 0; c < k; c++ {
+			var acc byte
+			for i := 0; i < k; i++ {
+				acc ^= gfMul(vand[r][i], topInv[i][c])
+			}
+			gen[r][c] = acc
+		}
+	}
+	return &rsCodec{k: k, m: m, gen: gen}, nil
+}
+
+func (c *rsCodec) Name() string      { return fmt.Sprintf("rs(%d+%d)", c.k, c.m) }
+func (c *rsCodec) DataShards() int   { return c.k }
+func (c *rsCodec) ParityShards() int { return c.m }
+
+func (c *rsCodec) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("redundancy: rs encode got %d shards, want %d", len(data), c.k)
+	}
+	shardLen, missing, err := checkShardLengths(data)
+	if err != nil {
+		return nil, err
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("redundancy: rs encode requires all %d data shards", c.k)
+	}
+	parity := make([][]byte, c.m)
+	for i := range parity {
+		parity[i] = make([]byte, shardLen)
+	}
+	gfMatMul(c.gen[c.k:], data, parity, shardLen)
+	return parity, nil
+}
+
+func (c *rsCodec) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("redundancy: rs reconstruct got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	shardLen, missing, err := checkShardLengths(shards)
+	if err != nil {
+		return err
+	}
+	if missing == 0 {
+		return nil
+	}
+	if missing > c.m {
+		return fmt.Errorf("redundancy: rs(%d+%d) tolerates %d lost shards, %d missing", c.k, c.m, c.m, missing)
+	}
+	// Pick k surviving rows of the generator matrix, invert, and
+	// recover the data shards; parity holes are then re-encoded.
+	subMat := make([][]byte, 0, c.k)
+	subShards := make([][]byte, 0, c.k)
+	for i := 0; i < len(shards) && len(subMat) < c.k; i++ {
+		if shards[i] != nil {
+			subMat = append(subMat, c.gen[i])
+			subShards = append(subShards, shards[i])
+		}
+	}
+	if len(subMat) < c.k {
+		return fmt.Errorf("redundancy: only %d surviving shards, need %d", len(subMat), c.k)
+	}
+	dec, err := gfInvertMatrix(subMat)
+	if err != nil {
+		return err
+	}
+	// Recover missing data shards: row d of (dec · survivors) is data
+	// shard d. Only compute the holes.
+	var holeRows [][]byte
+	var holeIdx []int
+	for d := 0; d < c.k; d++ {
+		if shards[d] == nil {
+			holeRows = append(holeRows, dec[d])
+			holeIdx = append(holeIdx, d)
+		}
+	}
+	if len(holeRows) > 0 {
+		out := make([][]byte, len(holeRows))
+		for i := range out {
+			out[i] = make([]byte, shardLen)
+		}
+		gfMatMul(holeRows, subShards, out, shardLen)
+		for i, d := range holeIdx {
+			shards[d] = out[i]
+		}
+	}
+	// Re-encode missing parity shards from the (now complete) data.
+	holeRows = holeRows[:0]
+	holeIdx = holeIdx[:0]
+	for p := c.k; p < c.k+c.m; p++ {
+		if shards[p] == nil {
+			holeRows = append(holeRows, c.gen[p])
+			holeIdx = append(holeIdx, p)
+		}
+	}
+	if len(holeRows) > 0 {
+		out := make([][]byte, len(holeRows))
+		for i := range out {
+			out[i] = make([]byte, shardLen)
+		}
+		gfMatMul(holeRows, shards[:c.k], out, shardLen)
+		for i, p := range holeIdx {
+			shards[p] = out[i]
+		}
+	}
+	return nil
+}

@@ -91,6 +91,13 @@ func DisklessSink() Model {
 	return Model{Name: "diskless peer memory (900 MB/s)", Latency: 10 * des.Microsecond, Bandwidth: 900e6}
 }
 
+// NVMeSink models a node-local NVMe device — the L1 tier of a
+// multi-level checkpoint hierarchy: microsecond-class latency, well
+// above network bandwidth, but gone with the node that owns it.
+func NVMeSink() Model {
+	return Model{Name: "local NVMe (3.2 GB/s)", Latency: 20 * des.Microsecond, Bandwidth: 3.2e9}
+}
+
 // WriteTime returns the virtual time needed to persist n bytes.
 func (m Model) WriteTime(n uint64) des.Time {
 	if m.Bandwidth <= 0 {
